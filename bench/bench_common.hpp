@@ -1,0 +1,82 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every figure binary follows the same pattern: sweep workflow sizes (or
+// failure rates), run a set of heuristics per point, and report the
+// paper's metric T / T_inf as a table, an ASCII chart, and optionally a
+// CSV file. `--quick` shrinks the grid for smoke runs; the default
+// reproduces the paper's full grid (sizes 50-700, exhaustive N-sweep).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/cli.hpp"
+#include "workflows/generator.hpp"
+
+namespace fpsched::bench {
+
+struct FigureOptions {
+  std::vector<std::size_t> sizes{50, 100, 200, 300, 400, 500, 600, 700};
+  std::size_t stride = 1;   // N-sweep stride (1 = exhaustive, as the paper)
+  std::uint64_t seed = 42;  // workflow generation seed
+  double weight_cv = 0.2;
+  std::string csv_dir;      // empty = no CSV output
+};
+
+/// Registers the shared options on `cli`, parses, and converts. Returns
+/// nullopt when --help was requested.
+std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc, const char* const* argv);
+
+/// One plotted line: a heuristic's ratio per x-grid point.
+struct RatioSeries {
+  std::string name;
+  std::vector<double> ratios;
+};
+
+struct FigurePanel {
+  std::string title;            // e.g. "(a) CyberShake: lambda=1e-3, c=0.1w"
+  std::string x_label;          // "number of tasks" or "lambda"
+  std::vector<double> xs;       // grid
+  std::vector<RatioSeries> series;
+};
+
+/// Prints the panel as a table + ASCII chart; writes `<csv_dir>/<slug>.csv`
+/// when a CSV directory is configured.
+void emit_panel(std::ostream& os, const FigurePanel& panel, const FigureOptions& options,
+                const std::string& slug);
+
+/// Ratio of one heuristic on one generated workflow (exhaustive or strided
+/// N-sweep under the hood). Returns the evaluation ratio T / T_inf.
+double heuristic_ratio(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
+                       std::size_t stride);
+
+/// Best ratio over the three linearizations for a checkpoint strategy
+/// (the selection rule of Figures 3 and 5-7); reports the winning
+/// linearization through `chosen` when non-null.
+double best_linearization_ratio(const ScheduleEvaluator& evaluator, CkptStrategy strategy,
+                                std::size_t stride, LinearizeMethod* chosen = nullptr);
+
+/// Generates the paper's workflow instance for a size (cost model applied).
+TaskGraph make_instance(WorkflowKind kind, std::size_t size, const CostModel& cost_model,
+                        const FigureOptions& options);
+
+/// The "BF DF RF x CkptW CkptC" six-series panel of Figures 2 and 4.
+FigurePanel linearization_panel(WorkflowKind kind, double lambda, const CostModel& cost_model,
+                                const std::string& subtitle, const FigureOptions& options);
+
+/// The "six checkpoint strategies, best linearization" panel of Figures 3,
+/// 5 and 6.
+FigurePanel strategy_panel(WorkflowKind kind, double lambda, const CostModel& cost_model,
+                           const std::string& subtitle, const FigureOptions& options);
+
+/// The Figure-7 panel: fixed size, ratio vs failure rate.
+FigurePanel lambda_sweep_panel(WorkflowKind kind, std::size_t size,
+                               const std::vector<double>& lambdas, const CostModel& cost_model,
+                               const std::string& subtitle, const FigureOptions& options);
+
+}  // namespace fpsched::bench

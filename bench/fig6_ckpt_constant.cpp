@@ -1,0 +1,42 @@
+// Figure 6 of the paper: checkpointing strategies with a constant
+// checkpoint cost, c_i = r_i = 5 s.
+//
+// Same panel layout as Figure 3 (four workflows, best linearization per
+// strategy). Expected shape: constant costs penalize checkpointing small
+// tasks, so CkptC loses its edge; CkptW/CkptD lead; CkptAlws suffers on
+// workflows with many small tasks (Montage, CyberShake).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+using namespace fpsched;
+using namespace fpsched::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli("Reproduces Figure 6: checkpointing strategies, c = 5 s.");
+  try {
+    const auto options = parse_figure_options(cli, argc, argv);
+    if (!options) return 0;
+    std::cout << "Figure 6 — impact of the checkpointing strategy (c_i = r_i = 5 s)\n";
+
+    const CostModel cost = CostModel::constant(5.0);
+    const char* labels[] = {"fig6a_montage", "fig6b_ligo", "fig6c_cybershake", "fig6d_genome"};
+    const WorkflowKind kinds[] = {WorkflowKind::montage, WorkflowKind::ligo,
+                                  WorkflowKind::cybershake, WorkflowKind::genome};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double lambda = paper_lambda(kinds[i]);
+      emit_panel(std::cout,
+                 strategy_panel(kinds[i], lambda, cost,
+                                "lambda=" + format_double(lambda, 4) + ", c=5s  [paper fig. 6" +
+                                    std::string(1, static_cast<char>('a' + i)) + "]",
+                                *options),
+                 *options, labels[i]);
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 7 of the paper: sensitivity to the failure rate at a fixed
+// workflow size of 200 tasks, c_i = r_i = 0.1 w_i.
+//
+// Panels (a) Montage, (b) Ligo, (c) CyberShake over lambda in
+// [1e-4, 9.3e-4], and (d) Genome over [1e-6, 2.7e-4] (its tasks are an
+// order of magnitude heavier). Expected shape: ratios grow steeply with
+// lambda; CkptNvr explodes (the paper's Genome panel reaches 20x);
+// the structure-aware strategies stay lowest across the whole range.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/error.hpp"
+
+using namespace fpsched;
+using namespace fpsched::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli("Reproduces Figure 7: ratio vs failure rate at 200 tasks, c = 0.1 w.");
+  cli.add_option("tasks", "200", "workflow size (the paper uses 200)");
+  try {
+    const auto options = parse_figure_options(cli, argc, argv);
+    if (!options) return 0;
+    const std::size_t size = 200;
+    std::cout << "Figure 7 — checkpointing strategies vs failure rate (" << size
+              << " tasks, c_i = r_i = 0.1 w_i)\n";
+
+    const CostModel cost = CostModel::proportional(0.1);
+    // The paper's x grids.
+    const std::vector<double> common{1e-4, 2.5e-4, 3.8e-4, 5.2e-4, 6.6e-4, 8e-4, 9.3e-4};
+    const std::vector<double> genome{1e-6, 5e-5, 9e-5, 1.4e-4, 1.8e-4, 2.3e-4, 2.7e-4};
+
+    emit_panel(std::cout,
+               lambda_sweep_panel(WorkflowKind::montage, size, common, cost,
+                                  "200 tasks, c=0.1w  [paper fig. 7a]", *options),
+               *options, "fig7a_montage");
+    emit_panel(std::cout,
+               lambda_sweep_panel(WorkflowKind::ligo, size, common, cost,
+                                  "200 tasks, c=0.1w  [paper fig. 7b]", *options),
+               *options, "fig7b_ligo");
+    emit_panel(std::cout,
+               lambda_sweep_panel(WorkflowKind::cybershake, size, common, cost,
+                                  "200 tasks, c=0.1w  [paper fig. 7c]", *options),
+               *options, "fig7c_cybershake");
+    emit_panel(std::cout,
+               lambda_sweep_panel(WorkflowKind::genome, size, genome, cost,
+                                  "200 tasks, c=0.1w  [paper fig. 7d]", *options),
+               *options, "fig7d_genome");
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

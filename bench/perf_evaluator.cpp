@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels:
+//  * the optimized Theorem-3 evaluator vs the literal O(n^4) Algorithm-1
+//    transcription (the reason the heuristic sweeps are tractable);
+//  * one Monte-Carlo simulation trial;
+//  * a full exhaustive budget sweep;
+//  * DAG linearization.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.hpp"
+#include "core/evaluator_naive.hpp"
+#include "dag/linearize.hpp"
+#include "heuristics/heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "workflows/generator.hpp"
+
+using namespace fpsched;
+
+namespace {
+
+struct Fixture {
+  TaskGraph graph;
+  FailureModel model{1e-3, 0.0};
+  Schedule schedule;
+
+  explicit Fixture(std::size_t n)
+      : graph(generate_cybershake({.task_count = n, .seed = 5,
+                                   .cost_model = CostModel::proportional(0.1)})) {
+    schedule = make_schedule(linearize(graph.dag(), graph.weights(),
+                                       LinearizeMethod::depth_first));
+    for (VertexId v = 0; v < graph.task_count(); v += 3) schedule.checkpointed[v] = 1;
+  }
+};
+
+void BM_EvaluatorOptimized(benchmark::State& state) {
+  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  const ScheduleEvaluator evaluator(fixture.graph, fixture.model);
+  EvaluatorWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.expected_makespan(fixture.schedule, ws, false));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluatorOptimized)->RangeMultiplier(2)->Range(50, 800)->Complexity();
+
+void BM_EvaluatorAlgorithm1(benchmark::State& state) {
+  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluate_reference(fixture.graph, fixture.model, fixture.schedule));
+  }
+  state.SetComplexityN(state.range(0));
+}
+// The literal transcription is O(n^4)-ish; keep the range small.
+BENCHMARK(BM_EvaluatorAlgorithm1)->RangeMultiplier(2)->Range(50, 200)->Complexity();
+
+void BM_SimulatorTrial(benchmark::State& state) {
+  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  const FaultSimulator simulator(fixture.graph, fixture.model, fixture.schedule);
+  Rng rng(99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(rng).makespan);
+  }
+}
+BENCHMARK(BM_SimulatorTrial)->RangeMultiplier(2)->Range(50, 800);
+
+void BM_ExhaustiveBudgetSweep(benchmark::State& state) {
+  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  const ScheduleEvaluator evaluator(fixture.graph, fixture.model);
+  for (auto _ : state) {
+    const HeuristicResult result =
+        run_heuristic(evaluator, {LinearizeMethod::depth_first, CkptStrategy::by_weight});
+    benchmark::DoNotOptimize(result.evaluation.expected_makespan);
+  }
+}
+BENCHMARK(BM_ExhaustiveBudgetSweep)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_Linearize(benchmark::State& state) {
+  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> weights = fixture.graph.weights();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linearize(fixture.graph.dag(), weights, LinearizeMethod::depth_first));
+  }
+}
+BENCHMARK(BM_Linearize)->Range(50, 800);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Section-4 theory validation harness (no figure in the paper, but every
+// theorem is exercised numerically):
+//  * Theorem 1 — fork decision vs exhaustive evaluation;
+//  * Lemma 2 / Corollary 1 — join g-ordering and equal-cost solver vs
+//    brute force;
+//  * Toueg-Babaoglu chain DP vs brute force;
+//  * Theorem 2 — SUBSET-SUM gadget threshold behaviour;
+//  * Theorem 3 — optimized evaluator vs the literal Algorithm-1
+//    transcription and vs Monte-Carlo simulation.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/evaluator_naive.hpp"
+#include "core/subset_sum.hpp"
+#include "core/theory_chain.hpp"
+#include "core/theory_fork.hpp"
+#include "core/theory_join.hpp"
+#include "sim/trial_runner.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workflows/synthetic.hpp"
+
+using namespace fpsched;
+
+namespace {
+
+void fork_section(std::ostream& os, Rng& rng) {
+  os << "\n--- Theorem 1: fork graphs ---\n";
+  Table table({"sinks", "lambda", "E[ckpt src]", "E[no ckpt]", "decision", "agrees w/ evaluator"});
+  for (int instance = 0; instance < 5; ++instance) {
+    const std::size_t sinks = 3 + instance;
+    std::vector<double> sink_weights(sinks);
+    for (double& w : sink_weights) w = rng.uniform(5.0, 60.0);
+    TaskGraph graph = make_fork(rng.uniform(20.0, 120.0), sink_weights);
+    graph.apply_cost_model(CostModel::proportional(0.15));
+    const FailureModel model(rng.uniform(0.002, 0.02), 0.0);
+    const ForkAnalysis analysis = analyze_fork(graph, model);
+    const Schedule schedule = optimal_fork_schedule(graph, model);
+    const double evaluated =
+        ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+    table.row()
+        .cell(sinks)
+        .cell(model.lambda(), 4)
+        .cell(analysis.expected_with_checkpoint, 2)
+        .cell(analysis.expected_without_checkpoint, 2)
+        .cell(std::string(analysis.checkpoint_source ? "checkpoint" : "skip"))
+        .cell(std::string(relative_difference(evaluated, analysis.optimal_expected_makespan) < 1e-9
+                              ? "yes"
+                              : "NO"));
+  }
+  table.print(os);
+}
+
+void join_section(std::ostream& os, Rng& rng) {
+  os << "\n--- Lemma 2 / Corollary 1: join graphs (uniform costs) ---\n";
+  Table table({"sources", "lambda", "Corollary-1 E[T]", "brute-force E[T]", "ckpts", "match"});
+  for (int instance = 0; instance < 5; ++instance) {
+    const std::size_t sources = 6 + instance;
+    std::vector<double> weights(sources);
+    for (double& w : weights) w = rng.uniform(5.0, 80.0);
+    TaskGraph graph = make_join(weights, rng.uniform(1.0, 15.0));
+    graph.apply_cost_model(CostModel::constant(rng.uniform(1.0, 5.0)));
+    const FailureModel model(rng.uniform(0.003, 0.02), 0.0);
+    const JoinSolution fast = solve_join_equal_costs(graph, model);
+    const JoinSolution exact = solve_join_bruteforce(graph, model);
+    table.row()
+        .cell(sources)
+        .cell(model.lambda(), 4)
+        .cell(fast.expected_makespan, 2)
+        .cell(exact.expected_makespan, 2)
+        .cell(fast.checkpointed_sources.size())
+        .cell(std::string(
+            relative_difference(fast.expected_makespan, exact.expected_makespan) < 1e-9 ? "yes"
+                                                                                        : "NO"));
+  }
+  table.print(os);
+}
+
+void chain_section(std::ostream& os, Rng& rng) {
+  os << "\n--- Toueg-Babaoglu chain dynamic program ---\n";
+  Table table({"tasks", "lambda", "DP E[T]", "brute-force E[T]", "DP ckpts", "match"});
+  for (int instance = 0; instance < 5; ++instance) {
+    const std::size_t n = 8 + instance * 2;
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.uniform(5.0, 70.0);
+    TaskGraph graph = make_chain(weights);
+    graph.apply_cost_model(CostModel::proportional(rng.uniform(0.05, 0.3)));
+    const FailureModel model(rng.uniform(0.002, 0.03), 0.0);
+    const ChainSolution dp = solve_chain_optimal(graph, model);
+    const ChainSolution exact = solve_chain_bruteforce(graph, model);
+    table.row()
+        .cell(n)
+        .cell(model.lambda(), 4)
+        .cell(dp.expected_makespan, 2)
+        .cell(exact.expected_makespan, 2)
+        .cell(dp.checkpoint_positions.size())
+        .cell(std::string(
+            relative_difference(dp.expected_makespan, exact.expected_makespan) < 1e-9 ? "yes"
+                                                                                      : "NO"));
+  }
+  table.print(os);
+}
+
+void subset_sum_section(std::ostream& os) {
+  os << "\n--- Theorem 2: SUBSET-SUM gadget ---\n";
+  Table table({"instance", "target", "solvable (DP)", "gadget reaches t_min"});
+  const std::vector<std::pair<SubsetSumInstance, std::string>> instances = {
+      {{{3, 5, 7}, 8}, "{3,5,7}"},    {{{3, 5, 7}, 9}, "{3,5,7}"},
+      {{{2, 4, 6, 8}, 10}, "{2,4,6,8}"}, {{{2, 4, 6, 8}, 11}, "{2,4,6,8}"},
+      {{{1, 2, 5, 9}, 16}, "{1,2,5,9}"}, {{{5, 5, 5}, 7}, "{5,5,5}"},
+  };
+  for (const auto& [instance, label] : instances) {
+    const bool solvable = subset_sum_solvable(instance);
+    const bool reached = gadget_reaches_threshold(reduce_subset_sum(instance));
+    table.row()
+        .cell(label)
+        .cell(static_cast<std::size_t>(instance.target))
+        .cell(std::string(solvable ? "yes" : "no"))
+        .cell(std::string(reached ? "yes" : "no"));
+  }
+  table.print(os);
+  os << "(Theorem 2 requires the two right columns to be identical.)\n";
+}
+
+void evaluator_section(std::ostream& os, Rng& rng) {
+  os << "\n--- Theorem 3: evaluator vs Algorithm 1 vs Monte-Carlo ---\n";
+  Table table({"tasks", "lambda", "optimized", "Algorithm 1", "MC mean +/- CI95", "consistent"});
+  for (int instance = 0; instance < 4; ++instance) {
+    TaskGraph graph = make_layered_random({.task_count = 14 + 6u * instance,
+                                           .layer_count = 4,
+                                           .mean_weight = 25.0,
+                                           .seed = rng()});
+    graph.apply_cost_model(CostModel::proportional(0.1));
+    const FailureModel model(rng.uniform(0.002, 0.01), 1.0);
+    Schedule schedule = make_schedule(linearize(graph.dag(), graph.weights(),
+                                                LinearizeMethod::depth_first));
+    for (VertexId v = 0; v < graph.task_count(); v += 3) schedule.checkpointed[v] = 1;
+
+    const double fast = ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+    const double naive = evaluate_reference(graph, model, schedule);
+    const MonteCarloSummary mc =
+        run_trials(FaultSimulator(graph, model, schedule), {.trials = 30000, .seed = rng()});
+    table.row()
+        .cell(graph.task_count())
+        .cell(model.lambda(), 4)
+        .cell(fast, 3)
+        .cell(naive, 3)
+        .cell(format_double(mc.mean_makespan(), 2) + " +/- " + format_double(mc.ci95(), 2))
+        .cell(std::string(relative_difference(fast, naive) < 1e-9 &&
+                                  mc.consistent_with(fast, 3.0)
+                              ? "yes"
+                              : "NO"));
+  }
+  table.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Validates every Section-4 theoretical result numerically.");
+  cli.add_option("seed", "2025", "randomized-instance seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    std::cout << "Section 4 theory validation\n";
+    fork_section(std::cout, rng);
+    join_section(std::cout, rng);
+    chain_section(std::cout, rng);
+    subset_sum_section(std::cout);
+    evaluator_section(std::cout, rng);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

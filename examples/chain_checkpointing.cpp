@@ -1,0 +1,77 @@
+// Linear-chain case study: the provably optimal checkpoint placement
+// (Toueg-Babaoglu dynamic program, the paper's reference [13]) versus
+// periodic checkpointing and the Section-5 heuristics.
+//
+//   $ ./chain_checkpointing --tasks 30 --lambda 0.002
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/theory_chain.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "workflows/synthetic.hpp"
+
+using namespace fpsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("Optimal vs heuristic checkpointing on a linear chain.");
+  cli.add_option("tasks", "30", "chain length");
+  cli.add_option("lambda", "0.002", "platform failure rate (1/s)");
+  cli.add_option("ckpt-factor", "0.1", "checkpoint cost as a fraction of task weight");
+  cli.add_option("seed", "3", "weight sampling seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::size_t n = static_cast<std::size_t>(cli.get_int("tasks"));
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.gamma_mean_cv(60.0, 0.8);
+    TaskGraph graph = make_chain(weights);
+    graph.apply_cost_model(CostModel::proportional(cli.get_double("ckpt-factor")));
+    const FailureModel model(cli.get_double("lambda"), 0.0);
+    const ScheduleEvaluator evaluator(graph, model);
+
+    const ChainSolution optimal = solve_chain_optimal(graph, model);
+    std::cout << "Chain of " << n << " tasks, T_inf = " << graph.total_weight() << " s\n";
+    std::cout << "Optimal checkpoints after positions:";
+    for (const std::size_t pos : optimal.checkpoint_positions) std::cout << ' ' << pos;
+    std::cout << "  (" << optimal.checkpoint_positions.size() << " total)\n\n";
+
+    Table table({"strategy", "E[makespan] (s)", "vs optimal"});
+    table.row().cell("optimal dynamic program").cell(optimal.expected_makespan, 1).cell(1.0, 4);
+    for (const CkptStrategy strategy :
+         {CkptStrategy::never, CkptStrategy::always, CkptStrategy::by_weight,
+          CkptStrategy::periodic}) {
+      const HeuristicResult r =
+          run_heuristic(evaluator, {LinearizeMethod::depth_first, strategy});
+      table.row()
+          .cell("DF-" + to_string(strategy))
+          .cell(r.evaluation.expected_makespan, 1)
+          .cell(r.evaluation.expected_makespan / optimal.expected_makespan, 4);
+    }
+    table.print(std::cout);
+
+    // The budget/expected-makespan trade-off curve for CkptPer: the classic
+    // "U"-shape (too few checkpoints -> re-execution, too many -> overhead).
+    const auto order = graph.dag().topological_order();
+    const SweepResult sweep = sweep_checkpoint_budget(
+        evaluator, {order.begin(), order.end()}, CkptStrategy::periodic, {});
+    AsciiChart chart("\nExpected makespan vs checkpoint budget (CkptPer)", 64, 16);
+    chart.set_x_label("budget N");
+    chart.set_y_label("E[makespan] (s)");
+    PlotSeries series{"CkptPer", {}, {}};
+    for (const SweepPoint& point : sweep.curve) {
+      series.xs.push_back(static_cast<double>(point.budget));
+      series.ys.push_back(point.expected_makespan);
+    }
+    chart.add_series(series);
+    chart.print(std::cout);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

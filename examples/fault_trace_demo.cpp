@@ -1,0 +1,66 @@
+// Replays the paper's Section-3 worked example: the Figure-1 DAG with T3
+// and T4 checkpointed, linearized as T0 T3 T1 T2 T4 T5 T6 T7. The demo
+// injects failures and prints the full recovery trace, making the
+// rollback semantics visible: a failure during T5 recovers T3's
+// checkpoint; T6 then recovers T4; T7 re-executes T1 and T2 from scratch
+// because nothing on its reverse path is checkpointed.
+//
+//   $ ./fault_trace_demo --seed 3 --lambda 0.004
+#include <iomanip>
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "dag/dot.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "workflows/synthetic.hpp"
+
+using namespace fpsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("Fault-injection trace of the paper's Figure-1 example.");
+  cli.add_option("lambda", "0.004", "platform failure rate (1/s)");
+  cli.add_option("downtime", "5", "downtime per failure (s)");
+  cli.add_option("seed", "3", "failure sampling seed");
+  cli.add_option("weight", "30", "weight of every task (s)");
+  cli.add_flag("dot", "also print the DAG in Graphviz DOT format");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    TaskGraph graph = make_paper_figure1(cli.get_double("weight"));
+    graph.apply_cost_model(CostModel::proportional(0.1));
+    const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7}, {0, 0, 0, 1, 1, 0, 0, 0});
+    const FailureModel model(cli.get_double("lambda"), cli.get_double("downtime"));
+
+    std::cout << "DAG: Figure 1 of the paper; schedule " << schedule.describe(graph) << "\n";
+    if (cli.get_flag("dot")) {
+      DotOptions options;
+      options.graph_name = "figure1";
+      options.checkpointed = schedule.checkpointed;
+      write_dot(std::cout, graph.dag(), options);
+    }
+
+    const double analytic =
+        ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+    std::cout << "Analytic expected makespan: " << analytic << " s\n\n";
+
+    const FaultSimulator simulator(graph, model, schedule);
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    const SimResult run = simulator.run(rng, /*record_trace=*/true);
+
+    std::cout << "One simulated execution (" << run.failure_count << " failures, makespan "
+              << run.makespan << " s, " << run.wasted_time << " s wasted):\n";
+    for (const SimEvent& event : run.trace) {
+      std::cout << "  t=" << std::setw(9) << std::fixed << std::setprecision(2) << event.time
+                << "  " << std::setw(11) << to_string(event.kind) << "  "
+                << graph.name(event.task) << "\n";
+    }
+    std::cout << "\nRe-run with different --seed values to see other failure patterns;\n"
+                 "--seed with no failure shows the plain fault-free timeline.\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Montage case study: compare all 14 heuristics of the paper on a
+// synthetic Montage workflow and print a ranked table, mirroring the
+// methodology of Section 6.
+//
+//   $ ./montage_study --tasks 200 --lambda 0.001 --ckpt-factor 0.1
+#include <algorithm>
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "workflows/generator.hpp"
+
+using namespace fpsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("Compare the 14 scheduling heuristics on a Montage workflow.");
+  cli.add_option("tasks", "200", "number of tasks");
+  cli.add_option("lambda", "0.001", "platform failure rate (1/s)");
+  cli.add_option("downtime", "0", "downtime per failure (s)");
+  cli.add_option("ckpt-factor", "0.1", "checkpoint cost as a fraction of task weight");
+  cli.add_option("seed", "42", "generator seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    GeneratorConfig config;
+    config.task_count = static_cast<std::size_t>(cli.get_int("tasks"));
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.cost_model = CostModel::proportional(cli.get_double("ckpt-factor"));
+    const TaskGraph graph = generate_montage(config);
+    const FailureModel model(cli.get_double("lambda"), cli.get_double("downtime"));
+
+    std::cout << "Montage workflow: " << graph.task_count() << " tasks, "
+              << graph.dag().edge_count() << " dependencies, T_inf = " << graph.total_weight()
+              << " s, " << config.cost_model.describe() << "\n\n";
+
+    const ScheduleEvaluator evaluator(graph, model);
+    std::vector<HeuristicResult> results = run_heuristics(evaluator, all_heuristics());
+    std::sort(results.begin(), results.end(), [](const auto& a, const auto& b) {
+      return a.evaluation.expected_makespan < b.evaluation.expected_makespan;
+    });
+
+    Table table({"rank", "heuristic", "E[makespan] (s)", "T/T_inf", "checkpoints"});
+    for (std::size_t rank = 0; rank < results.size(); ++rank) {
+      const HeuristicResult& r = results[rank];
+      table.row()
+          .cell(rank + 1)
+          .cell(r.spec.name())
+          .cell(r.evaluation.expected_makespan, 1)
+          .cell(r.evaluation.ratio, 4)
+          .cell(r.schedule.checkpoint_count());
+    }
+    table.print(std::cout);
+
+    const HeuristicResult& best = results.front();
+    std::cout << "\nWinner: " << best.spec.name() << " with " << best.schedule.checkpoint_count()
+              << " checkpoints (ratio " << format_double(best.evaluation.ratio, 4) << ").\n";
+    std::cout << "The paper's Section 6 finds DF-CkptW/DF-CkptC at the top and CkptPer\n"
+                 "behind the structure-aware strategies — compare the ranking above.\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

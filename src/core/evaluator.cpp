@@ -1,0 +1,184 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+void EvaluatorWorkspace::resize(std::size_t n, std::size_t edges) {
+  work.resize(n);
+  ckpt.resize(n);
+  recovery.resize(n);
+  flag.resize(n);
+  pred_offsets.assign(n + 1, 0);
+  pred_list.resize(edges);
+  position.resize(n);
+  accum.assign(n, 0.0);
+  sum_prob.assign(n, 0.0);
+  self_loss.assign(n, 0.0);
+  recovered_at.assign(n, -1);
+  dfs_stack.clear();
+  dfs_stack.reserve(n);
+}
+
+ScheduleEvaluator::ScheduleEvaluator(const TaskGraph& graph, FailureModel model)
+    : graph_(&graph), model_(model) {}
+
+Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule) const {
+  EvaluatorWorkspace ws;
+  return evaluate(schedule, ws);
+}
+
+Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule, EvaluatorWorkspace& ws) const {
+  validate_schedule(*graph_, schedule);
+  Evaluation result;
+  result.per_task_expected.clear();
+  result.expected_makespan = run(schedule, ws, &result.per_task_expected);
+  result.total_weight = graph_->total_weight();
+  result.checkpoint_count = schedule.checkpoint_count();
+  double fault_free = 0.0;
+  for (VertexId v = 0; v < graph_->task_count(); ++v) {
+    fault_free += graph_->weight(v);
+    if (schedule.is_checkpointed(v)) fault_free += graph_->ckpt_cost(v);
+  }
+  result.fault_free_time = fault_free;
+  result.ratio = result.total_weight > 0.0 ? result.expected_makespan / result.total_weight : 1.0;
+  return result;
+}
+
+double ScheduleEvaluator::expected_makespan(const Schedule& schedule, EvaluatorWorkspace& ws,
+                                            bool validate) const {
+  if (validate) validate_schedule(*graph_, schedule);
+  return run(schedule, ws, nullptr);
+}
+
+double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
+                              std::vector<double>* per_task) const {
+  const std::size_t n = graph_->task_count();
+  if (per_task) per_task->assign(n, 0.0);
+  if (n == 0) return 0.0;
+  const Dag& dag = graph_->dag();
+  ws.resize(n, dag.edge_count());
+
+  // --- Reindex everything into position space. -------------------------
+  for (std::size_t i = 0; i < n; ++i) ws.position[schedule.order[i]] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = schedule.order[i];
+    ws.work[i] = graph_->weight(v);
+    ws.flag[i] = schedule.checkpointed[v];
+    ws.ckpt[i] = ws.flag[i] ? graph_->ckpt_cost(v) : 0.0;
+    ws.recovery[i] = graph_->recovery_cost(v);
+  }
+  // Predecessor CSR in position space.
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = schedule.order[i];
+    ws.pred_offsets[i + 1] = static_cast<std::uint32_t>(dag.predecessors(v).size());
+  }
+  for (std::size_t i = 0; i < n; ++i) ws.pred_offsets[i + 1] += ws.pred_offsets[i];
+  {
+    std::vector<std::uint32_t> fill(ws.pred_offsets.begin(), ws.pred_offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const VertexId v = schedule.order[i];
+      for (const VertexId p : dag.predecessors(v)) ws.pred_list[fill[i]++] = ws.position[p];
+    }
+  }
+
+  const double lambda = model_.lambda();
+  if (lambda == 0.0) {
+    // No failures: the makespan is deterministic.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = ws.work[i] + ws.ckpt[i];
+      if (per_task) (*per_task)[i] = xi;
+      total += xi;
+    }
+    return total;
+  }
+  const double rate_factor = 1.0 / lambda + model_.downtime();
+
+  // Lost work L^i_k for the current pass position k: DFS from i over lost,
+  // non-checkpointed predecessors. `recovered_at[j] == k` marks tasks that
+  // already entered some T|k_l with l <= i (their output is back in
+  // memory), which both deduplicates the DFS and implements the exclusion
+  // rule of Definition 1.
+  const auto lost_work = [&](std::size_t i, std::int32_t k) -> double {
+    double lost = 0.0;
+    auto& stack = ws.dfs_stack;
+    stack.clear();
+    stack.push_back(static_cast<std::uint32_t>(i));
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back();
+      stack.pop_back();
+      for (std::uint32_t e = ws.pred_offsets[node]; e < ws.pred_offsets[node + 1]; ++e) {
+        const std::uint32_t j = ws.pred_list[e];
+        if (static_cast<std::int32_t>(j) >= k) continue;  // executed after the failure
+        if (ws.recovered_at[j] == k) continue;            // already recovered/re-executed
+        ws.recovered_at[j] = k;
+        if (ws.flag[j]) {
+          lost += ws.recovery[j];  // reload the checkpoint; stop the walk here
+        } else {
+          lost += ws.work[j];  // re-execute; its own inputs are needed too
+          stack.push_back(j);
+        }
+      }
+    }
+    return lost;
+  };
+
+  // --- Pass k = -1: no failure has happened yet. -----------------------
+  // Zero-probability events are skipped everywhere below: their Eq.-(1)
+  // term can overflow to +inf on failure-dominated segments and 0 * inf
+  // would poison the sum with a NaN.
+  {
+    double elapsed = 0.0;  // sum of w_j + delta_j c_j, j < i
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = std::exp(-lambda * elapsed);
+      if (p > 0.0) {
+        ws.accum[i] += p * std::expm1(lambda * (ws.work[i] + ws.ckpt[i]));
+        ws.sum_prob[i] += p;
+      }
+      elapsed += ws.work[i] + ws.ckpt[i];
+    }
+  }
+
+  // --- Passes k = 0..n-1: last failure during X_k. ----------------------
+  for (std::size_t k = 0; k < n; ++k) {
+    // P(Z^{k+1}_k) = 1 - sum over earlier failure positions (property B).
+    const double base =
+        k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
+    double span = 0.0;  // S^i_k = sum_{k<j<i} (L^j_k + w_j + delta_j c_j)
+    for (std::size_t i = k; i < n; ++i) {
+      const double lost = lost_work(i, static_cast<std::int32_t>(k));
+      if (i == k) {
+        ws.self_loss[k] = lost;  // L^k_k, needed by every E[X_k | Z^k_*]
+        continue;
+      }
+      if (base > 0.0) {
+        const double p = std::exp(-lambda * span) * base;
+        if (p > 0.0) {
+          ws.accum[i] += p * std::exp(-lambda * lost) *
+                         std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
+          ws.sum_prob[i] += p;
+        }
+      }
+      span += lost + ws.work[i] + ws.ckpt[i];
+    }
+  }
+
+  // --- Combine: E[X_i] = e^{lambda L^i_i} (1/lambda + D) accum[i]. ------
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // accum[i] == 0 happens only when every reachable event has zero cost
+    // (or its probability underflowed); guard against inf * 0.
+    const double xi =
+        ws.accum[i] == 0.0 ? 0.0
+                           : std::exp(lambda * ws.self_loss[i]) * rate_factor * ws.accum[i];
+    if (per_task) (*per_task)[i] = xi;
+    total += xi;
+  }
+  return total;
+}
+
+}  // namespace fpsched

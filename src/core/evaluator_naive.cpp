@@ -1,0 +1,173 @@
+#include "core/evaluator_naive.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+namespace {
+
+// Schedule recast in position space, mirroring the paper's renumbering
+// "task T_i is the i-th task executed".
+struct PositionView {
+  std::size_t n = 0;
+  std::vector<double> w;
+  std::vector<double> c;        // raw checkpoint cost
+  std::vector<double> r;
+  std::vector<std::uint8_t> d;  // delta_i: checkpointed?
+  std::vector<std::vector<std::uint32_t>> preds;  // positions
+
+  explicit PositionView(const TaskGraph& graph, const Schedule& schedule) {
+    n = graph.task_count();
+    w.resize(n);
+    c.resize(n);
+    r.resize(n);
+    d.resize(n);
+    preds.resize(n);
+    std::vector<std::uint32_t> pos(n);
+    for (std::size_t i = 0; i < n; ++i) pos[schedule.order[i]] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      const VertexId v = schedule.order[i];
+      w[i] = graph.weight(v);
+      c[i] = graph.ckpt_cost(v);
+      r[i] = graph.recovery_cost(v);
+      d[i] = schedule.checkpointed[v];
+      for (const VertexId p : graph.dag().predecessors(v)) preds[i].push_back(pos[p]);
+    }
+  }
+};
+
+// Algorithm 1, literal. `tab` is the n x n state matrix for this k;
+// entries: -1 unvisited, 0 not-a-member (fresh output or already recovered
+// at an earlier i), 1 member to re-execute, 2 member to recover.
+class Algorithm1 {
+ public:
+  Algorithm1(const PositionView& view, std::size_t k)
+      : view_(view), k_(k), tab_(view.n, std::vector<int>(view.n, -1)) {}
+
+  LostWorkTable run() {
+    LostWorkTable result;
+    result.reexecuted_weight.assign(view_.n, 0.0);
+    result.recovered_cost.assign(view_.n, 0.0);
+    for (std::size_t i = k_; i < view_.n; ++i) {
+      traverse(i, i);
+      for (std::size_t j = 0; j < k_; ++j) {
+        switch (tab_[i][j]) {
+          case 1: result.reexecuted_weight[i] += view_.w[j]; break;
+          case 2: result.recovered_cost[i] += view_.r[j]; break;
+          default: break;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  void traverse(std::size_t l, std::size_t i) {
+    for (const std::uint32_t j : view_.preds[l]) {
+      switch (tab_[i][j]) {
+        case 0:   // already a member of some earlier T|k_{i'}
+        case 1:   // already studied for this i
+        case 2:
+          break;
+        case -1: {
+          for (std::size_t row = i + 1; row < view_.n; ++row) tab_[row][j] = 0;
+          if (j < k_) {
+            if (view_.d[j]) {
+              tab_[i][j] = 2;
+            } else {
+              tab_[i][j] = 1;
+              traverse(j, i);
+            }
+          } else {
+            tab_[i][j] = 0;  // executed after the failure: output in memory
+          }
+          break;
+        }
+        default: break;
+      }
+    }
+  }
+
+  const PositionView& view_;
+  std::size_t k_;
+  std::vector<std::vector<int>> tab_;
+};
+
+}  // namespace
+
+LostWorkTable find_lost_work_reference(const TaskGraph& graph, const Schedule& schedule,
+                                       std::size_t k) {
+  validate_schedule(graph, schedule);
+  ensure(k < graph.task_count(), "k must be a schedule position");
+  const PositionView view(graph, schedule);
+  return Algorithm1(view, k).run();
+}
+
+double evaluate_reference(const TaskGraph& graph, const FailureModel& model,
+                          const Schedule& schedule) {
+  validate_schedule(graph, schedule);
+  const PositionView view(graph, schedule);
+  const std::size_t n = view.n;
+  if (n == 0) return 0.0;
+  const double lambda = model.lambda();
+  if (lambda == 0.0) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += view.w[i] + (view.d[i] ? view.c[i] : 0.0);
+    return total;
+  }
+
+  // Lost work L^i_k = W^i_k + R^i_k for every failure position k.
+  std::vector<std::vector<double>> lost(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const LostWorkTable table = Algorithm1(view, k).run();
+    lost[k].assign(n, 0.0);
+    for (std::size_t i = k; i < n; ++i)
+      lost[k][i] = table.reexecuted_weight[i] + table.recovered_cost[i];
+  }
+
+  const auto delta_cost = [&](std::size_t j) { return view.d[j] ? view.c[j] : 0.0; };
+
+  // P(Z^i_k): prob[i][k+1]; column 0 is the "no failure yet" event k = -1.
+  std::vector<std::vector<double>> prob(n);
+  for (std::size_t i = 0; i < n; ++i) prob[i].assign(i + 1, 0.0);
+  prob[0][0] = 1.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    // k = -1: no failure during X_0 .. X_{i-1} (nothing was ever lost).
+    {
+      double span = 0.0;
+      for (std::size_t j = 0; j < i; ++j) span += view.w[j] + delta_cost(j);
+      prob[i][0] = std::exp(-lambda * span);
+    }
+    // 0 <= k < i-1: property A.
+    for (std::size_t k = 0; k + 1 < i; ++k) {
+      double span = 0.0;
+      for (std::size_t j = k + 1; j < i; ++j) span += lost[k][j] + view.w[j] + delta_cost(j);
+      prob[i][k + 1] = std::exp(-lambda * span) * prob[k + 1][k + 1];
+    }
+    // k = i-1: property B (complement).
+    double others = 0.0;
+    for (std::size_t col = 0; col < i; ++col) others += prob[i][col];
+    prob[i][i] = std::max(0.0, 1.0 - others);
+  }
+
+  // E[X_i] = sum_k P(Z^i_k) E[t(L^i_k + w_i; delta_i c_i; L^i_i - L^i_k)].
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double self = lost[i][i];
+    double xi = 0.0;
+    for (std::size_t col = 0; col <= i; ++col) {
+      if (prob[i][col] == 0.0) continue;  // avoid 0 * inf on overflowing terms
+      const double lki = col == 0 ? 0.0 : lost[col - 1][i];
+      xi += prob[i][col] *
+            model.expected_time(lki + view.w[i], delta_cost(i), self - lki);
+    }
+    total += xi;
+  }
+  return total;
+}
+
+}  // namespace fpsched

@@ -1,0 +1,35 @@
+// Paper-faithful transcription of Section 4.2 (Theorem 3 + Algorithm 1).
+//
+// This evaluator follows the published pseudo-code literally: one n x n
+// `tab_k` state matrix per failure position k (entries -1 / 0 / 1 / 2), a
+// recursive Traverse, dense W^i_k / R^i_k matrices, and the probability
+// recurrences written out as stated (properties A, B, C). Complexity is
+// O(n^3) per k and O(n^4) overall, exactly as the paper reports.
+//
+// It exists purely as an executable specification: the optimized evaluator
+// in evaluator.hpp must produce identical results, and the differential
+// tests enforce that on randomized DAGs. Do not use it on large inputs.
+#pragma once
+
+#include "core/failure_model.hpp"
+#include "core/schedule.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+/// Expected makespan of `schedule`, computed with the literal Algorithm 1.
+double evaluate_reference(const TaskGraph& graph, const FailureModel& model,
+                          const Schedule& schedule);
+
+/// Exposed for white-box tests: the lost-work table of Algorithm 1 for
+/// failure position `k` (0-based schedule position; the returned vectors
+/// are indexed by position and hold W^i_k and R^i_k; entries below k are
+/// zero).
+struct LostWorkTable {
+  std::vector<double> reexecuted_weight;  // W^i_k
+  std::vector<double> recovered_cost;     // R^i_k
+};
+LostWorkTable find_lost_work_reference(const TaskGraph& graph, const Schedule& schedule,
+                                       std::size_t k);
+
+}  // namespace fpsched

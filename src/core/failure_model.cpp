@@ -1,0 +1,49 @@
+#include "core/failure_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+FailureModel::FailureModel(double lambda, double downtime) : lambda_(lambda), downtime_(downtime) {
+  ensure(std::isfinite(lambda) && lambda >= 0.0, "lambda must be finite and >= 0");
+  ensure(std::isfinite(downtime) && downtime >= 0.0, "downtime must be finite and >= 0");
+}
+
+FailureModel FailureModel::from_processor_mtbf(double mtbf_proc, std::uint64_t processors,
+                                               double downtime) {
+  ensure(mtbf_proc > 0.0, "per-processor MTBF must be positive");
+  ensure(processors >= 1, "need at least one processor");
+  return FailureModel(static_cast<double>(processors) / mtbf_proc, downtime);
+}
+
+double FailureModel::mtbf() const {
+  return lambda_ == 0.0 ? std::numeric_limits<double>::infinity() : 1.0 / lambda_;
+}
+
+double FailureModel::expected_time(double work, double ckpt, double recovery) const {
+  ensure(work >= 0.0 && ckpt >= 0.0 && recovery >= 0.0,
+         "expected_time requires non-negative durations");
+  if (lambda_ == 0.0) return work + ckpt;
+  // e^{lambda r} (1/lambda + D) expm1(lambda (w+c)); expm1 keeps precision
+  // for small exponents, and +inf is propagated untouched for huge ones.
+  return std::exp(lambda_ * recovery) * (1.0 / lambda_ + downtime_) *
+         std::expm1(lambda_ * (work + ckpt));
+}
+
+double FailureModel::expected_lost_time(double work) const {
+  ensure(work >= 0.0, "expected_lost_time requires non-negative work");
+  if (lambda_ == 0.0) return 0.0;  // failures never happen
+  if (work == 0.0) return 0.0;     // conditioning on a failure in zero time
+  const double denom = std::expm1(lambda_ * work);
+  return 1.0 / lambda_ - work / denom;
+}
+
+double FailureModel::success_probability(double duration) const {
+  ensure(duration >= 0.0, "success_probability requires non-negative duration");
+  return std::exp(-lambda_ * duration);
+}
+
+}  // namespace fpsched

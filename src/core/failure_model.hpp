@@ -1,0 +1,59 @@
+// The platform failure model of Section 3.
+//
+// p processors, each with exponentially distributed failures of rate
+// lambda_proc, run every task together; the platform therefore behaves as a
+// single macro-processor with failure rate lambda = p * lambda_proc and a
+// constant downtime D after each failure.
+//
+// The key closed form (Eq. (1) of the paper, from [17, 20]) is the expected
+// time to push through `w` seconds of work followed by a `c`-second
+// checkpoint when every failure costs a downtime plus an `r`-second
+// recovery before retrying:
+//
+//     E[t(w; c; r)] = e^{lambda r} (1/lambda + D) (e^{lambda (w+c)} - 1)
+//
+// The formula stays valid when failures strike during the checkpoint or the
+// recovery. lambda = 0 (no failures) degenerates to w + c.
+#pragma once
+
+#include <cstdint>
+
+namespace fpsched {
+
+class FailureModel {
+ public:
+  /// `lambda` >= 0 (failures per second on the whole platform),
+  /// `downtime` >= 0 seconds.
+  explicit FailureModel(double lambda, double downtime = 0.0);
+
+  /// Builds the platform model from per-processor MTBF (seconds) and the
+  /// number of processors: lambda = p / mtbf_proc.
+  static FailureModel from_processor_mtbf(double mtbf_proc, std::uint64_t processors,
+                                          double downtime = 0.0);
+
+  double lambda() const { return lambda_; }
+  double downtime() const { return downtime_; }
+  bool failure_free() const { return lambda_ == 0.0; }
+
+  /// Platform MTBF (infinity when failure free).
+  double mtbf() const;
+
+  /// Eq. (1): expected completion time of (work + checkpoint) with per
+  /// failure recovery `recovery`. May return +inf when lambda*(w+c) is so
+  /// large that the expectation overflows a double — a meaningful signal
+  /// that the segment essentially never completes.
+  double expected_time(double work, double ckpt, double recovery) const;
+
+  /// E[t_lost(w)] = 1/lambda - w / (e^{lambda w} - 1): expected time lost
+  /// when a failure is known to occur within a `w`-second attempt.
+  double expected_lost_time(double work) const;
+
+  /// Probability that `duration` seconds elapse without failure.
+  double success_probability(double duration) const;
+
+ private:
+  double lambda_;
+  double downtime_;
+};
+
+}  // namespace fpsched

@@ -1,0 +1,48 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dag/traversal.hpp"
+#include "support/error.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+std::size_t Schedule::checkpoint_count() const {
+  return static_cast<std::size_t>(std::count_if(checkpointed.begin(), checkpointed.end(),
+                                                [](std::uint8_t f) { return f != 0; }));
+}
+
+std::vector<std::uint32_t> Schedule::positions() const {
+  std::vector<std::uint32_t> pos(order.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<std::uint32_t>(i);
+  return pos;
+}
+
+std::string Schedule::describe(const TaskGraph& graph) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << graph.name(order[i]);
+    if (is_checkpointed(order[i])) os << '*';
+  }
+  return os.str();
+}
+
+Schedule make_schedule(std::vector<VertexId> order) {
+  const std::size_t n = order.size();
+  return Schedule(std::move(order), std::vector<std::uint8_t>(n, 0));
+}
+
+void validate_schedule(const TaskGraph& graph, const Schedule& schedule) {
+  if (schedule.order.size() != graph.task_count())
+    throw ScheduleError("schedule order has " + std::to_string(schedule.order.size()) +
+                        " entries for " + std::to_string(graph.task_count()) + " tasks");
+  if (schedule.checkpointed.size() != graph.task_count())
+    throw ScheduleError("checkpoint flag vector has wrong size");
+  if (!is_valid_linearization(graph.dag(), schedule.order))
+    throw ScheduleError("schedule order is not a valid linearization of the DAG");
+}
+
+}  // namespace fpsched

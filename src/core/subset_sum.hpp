@@ -1,0 +1,58 @@
+// The NP-completeness gadget of Theorem 2: SUBSET-SUM reduces to
+// DAG-ChkptSched on join graphs.
+//
+// Given positive integers w_1..w_n and a target X, the reduction builds a
+// join with n sources and a zero-weight sink where source i has
+//     w_i = w_i,   r_i = 0,
+//     c_i = (X - w_i) + (1/lambda) ln(lambda w_i + e^{-lambda X}),
+// with lambda >= 1 / min_i w_i so every c_i > 0. By Corollary 2 the
+// expected makespan (in units of 1/lambda + D) for a non-checkpointed set
+// summing to W is
+//     E(W) = lambda e^{lambda X} (S - W) + e^{lambda W} - 1,   S = sum w_i,
+// which is uniquely minimized at W = X with value
+//     t_min = lambda e^{lambda X} (S - X) + e^{lambda X} - 1.
+// Hence the scheduling instance reaches t_min iff the SUBSET-SUM instance
+// is a yes-instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+struct SubsetSumInstance {
+  std::vector<std::int64_t> values;  // strictly positive
+  std::int64_t target = 0;           // X
+};
+
+struct SubsetSumReduction {
+  TaskGraph graph;     // the join gadget (sink is the last vertex)
+  FailureModel model;  // lambda chosen per the reduction, D = 0
+  double target;       // X
+  double sum;          // S
+  double threshold;    // t_min, in units of (1/lambda + D)
+};
+
+/// Builds the scheduling instance of Theorem 2. `lambda` <= 0 picks the
+/// smallest valid value 1 / min_i w_i. Throws on non-positive values or an
+/// unreachable target (target <= 0 or target > S).
+SubsetSumReduction reduce_subset_sum(const SubsetSumInstance& instance, double lambda = 0.0);
+
+/// E(W) above: the gadget's expected makespan (in units of 1/lambda + D)
+/// when the non-checkpointed sources sum to `non_ckpt_sum`.
+double gadget_expected_time(const SubsetSumReduction& reduction, double non_ckpt_sum);
+
+/// Decides SUBSET-SUM by brute force on the gadget: enumerates checkpoint
+/// subsets, evaluates each with the Corollary-2 form, and reports whether
+/// the threshold is reached (within `tolerance`, relative). Exponential;
+/// for tests with small n.
+bool gadget_reaches_threshold(const SubsetSumReduction& reduction, double tolerance = 1e-9);
+
+/// Reference solver for the original instance: pseudo-polynomial DP over
+/// achievable sums.
+bool subset_sum_solvable(const SubsetSumInstance& instance);
+
+}  // namespace fpsched

@@ -1,0 +1,162 @@
+#include "core/theory_chain.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+bool is_chain(const Dag& dag, std::vector<VertexId>* path) {
+  const std::size_t n = dag.vertex_count();
+  if (n == 0) return false;
+  const auto sources = dag.sources();
+  if (sources.size() != 1) return false;
+  std::vector<VertexId> chain;
+  chain.reserve(n);
+  VertexId v = sources.front();
+  for (;;) {
+    if (dag.in_degree(v) > 1) return false;
+    chain.push_back(v);
+    const auto succs = dag.successors(v);
+    if (succs.empty()) break;
+    if (succs.size() != 1) return false;
+    v = succs.front();
+  }
+  if (chain.size() != n) return false;
+  if (path) *path = std::move(chain);
+  return true;
+}
+
+namespace {
+
+struct ChainView {
+  std::vector<VertexId> path;
+  std::vector<double> prefix_weight;  // prefix_weight[i] = w_0 + ... + w_{i-1}
+
+  ChainView(const TaskGraph& graph) {
+    ensure(is_chain(graph.dag(), &path), "this routine requires a chain graph");
+    prefix_weight.assign(path.size() + 1, 0.0);
+    for (std::size_t i = 0; i < path.size(); ++i)
+      prefix_weight[i + 1] = prefix_weight[i] + graph.weight(path[i]);
+  }
+
+  double segment_weight(std::size_t from, std::size_t to_inclusive) const {
+    return prefix_weight[to_inclusive + 1] - prefix_weight[from];
+  }
+};
+
+Schedule chain_schedule(const ChainView& view,
+                        const std::vector<std::size_t>& checkpoint_positions) {
+  Schedule schedule = make_schedule(view.path);
+  for (const std::size_t pos : checkpoint_positions) {
+    ensure(pos < view.path.size(), "checkpoint position out of range");
+    schedule.checkpointed[view.path[pos]] = 1;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+double chain_expected_time(const TaskGraph& graph, const FailureModel& model,
+                           const std::vector<std::size_t>& checkpoint_positions) {
+  const ChainView view(graph);
+  std::vector<std::size_t> marks = checkpoint_positions;
+  std::sort(marks.begin(), marks.end());
+  marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+  for (const std::size_t pos : marks) ensure(pos < view.path.size(), "position out of range");
+
+  double total = 0.0;
+  std::size_t segment_start = 0;
+  double recovery = 0.0;  // r of the previous checkpoint (0: restart anew)
+  for (const std::size_t pos : marks) {
+    total += model.expected_time(view.segment_weight(segment_start, pos),
+                                 graph.ckpt_cost(view.path[pos]), recovery);
+    recovery = graph.recovery_cost(view.path[pos]);
+    segment_start = pos + 1;
+  }
+  if (segment_start < view.path.size()) {
+    total += model.expected_time(view.segment_weight(segment_start, view.path.size() - 1), 0.0,
+                                 recovery);
+  }
+  return total;
+}
+
+ChainSolution solve_chain_optimal(const TaskGraph& graph, const FailureModel& model) {
+  const ChainView view(graph);
+  const std::size_t n = view.path.size();
+
+  // best_at[j]: minimal expected time to complete tasks 0..j with task j
+  // checkpointed (including its checkpoint cost). previous[j]: previous
+  // checkpointed position (n = none).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best_at(n, kInf);
+  std::vector<std::size_t> previous(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // First segment: restart from scratch on failure (recovery 0).
+    best_at[j] =
+        model.expected_time(view.segment_weight(0, j), graph.ckpt_cost(view.path[j]), 0.0);
+    for (std::size_t p = 0; p < j; ++p) {
+      if (best_at[p] == kInf) continue;
+      const double candidate =
+          best_at[p] + model.expected_time(view.segment_weight(p + 1, j),
+                                           graph.ckpt_cost(view.path[j]),
+                                           graph.recovery_cost(view.path[p]));
+      if (candidate < best_at[j]) {
+        best_at[j] = candidate;
+        previous[j] = p;
+      }
+    }
+  }
+
+  // Close the chain with an unmarked tail segment (or none).
+  double best_total = model.expected_time(view.segment_weight(0, n - 1), 0.0, 0.0);
+  std::size_t best_last = n;  // n = no checkpoint at all
+  for (std::size_t p = 0; p < n; ++p) {
+    double candidate = best_at[p];
+    if (p + 1 < n)
+      candidate += model.expected_time(view.segment_weight(p + 1, n - 1), 0.0,
+                                       graph.recovery_cost(view.path[p]));
+    if (candidate < best_total) {
+      best_total = candidate;
+      best_last = p;
+    }
+  }
+
+  ChainSolution solution;
+  solution.expected_makespan = best_total;
+  for (std::size_t p = best_last; p != n; p = previous[p]) {
+    solution.checkpoint_positions.push_back(p);
+    if (previous[p] == n) break;
+  }
+  std::reverse(solution.checkpoint_positions.begin(), solution.checkpoint_positions.end());
+  solution.schedule = chain_schedule(view, solution.checkpoint_positions);
+  return solution;
+}
+
+ChainSolution solve_chain_bruteforce(const TaskGraph& graph, const FailureModel& model,
+                                     std::size_t max_tasks) {
+  const ChainView view(graph);
+  const std::size_t n = view.path.size();
+  ensure(n <= max_tasks,
+         "brute-force chain solver limited to " + std::to_string(max_tasks) + " tasks");
+
+  ChainSolution best;
+  bool first = true;
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<std::size_t> positions;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (mask & (1ull << b)) positions.push_back(b);
+    }
+    const double expected = chain_expected_time(graph, model, positions);
+    if (first || expected < best.expected_makespan) {
+      first = false;
+      best.checkpoint_positions = std::move(positions);
+      best.expected_makespan = expected;
+    }
+  }
+  best.schedule = chain_schedule(view, best.checkpoint_positions);
+  return best;
+}
+
+}  // namespace fpsched

@@ -1,0 +1,47 @@
+// Optimal checkpointing of a linear chain (Toueg & Babaoglu [13], adapted
+// to the paper's failure model).
+//
+// For a chain T_0 -> ... -> T_{n-1}, a checkpoint set splits the chain
+// into segments; with exponential failures, the expected time of a segment
+// ending at a checkpointed task j and starting after checkpointed task p is
+//     E[t(w_{p+1} + .. + w_j ; c_j ; r_p)]
+// (r_p = 0 for the first segment, which restarts from scratch). The test
+// suite verifies this segment-product form against the general evaluator —
+// the two accountings agree thanks to the memorylessness of the
+// exponential distribution. The optimal checkpoint set is found by an
+// O(n^2) dynamic program over the last checkpoint position.
+#pragma once
+
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "core/schedule.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+/// True iff the graph is a single path T_pi(0) -> T_pi(1) -> ...; writes
+/// the path (vertex ids in chain order) when provided.
+bool is_chain(const Dag& dag, std::vector<VertexId>* path = nullptr);
+
+struct ChainSolution {
+  /// Positions along the chain (0-based) whose task is checkpointed.
+  std::vector<std::size_t> checkpoint_positions;
+  double expected_makespan = 0.0;
+  Schedule schedule;
+};
+
+/// Expected makespan of a chain under a given checkpoint set (positions
+/// along the chain), using the segment closed form above.
+double chain_expected_time(const TaskGraph& graph, const FailureModel& model,
+                           const std::vector<std::size_t>& checkpoint_positions);
+
+/// Optimal checkpoint placement via dynamic programming (O(n^2)).
+ChainSolution solve_chain_optimal(const TaskGraph& graph, const FailureModel& model);
+
+/// Exact solver enumerating all 2^n checkpoint subsets; for tests
+/// (throws above `max_tasks` = 20).
+ChainSolution solve_chain_bruteforce(const TaskGraph& graph, const FailureModel& model,
+                                     std::size_t max_tasks = 20);
+
+}  // namespace fpsched

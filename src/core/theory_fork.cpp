@@ -1,0 +1,65 @@
+#include "core/theory_fork.hpp"
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+bool is_fork(const Dag& dag, VertexId* source) {
+  const std::size_t n = dag.vertex_count();
+  if (n == 0) return false;
+  if (n == 1) {
+    if (source) *source = 0;
+    return true;
+  }
+  const auto sources = dag.sources();
+  if (sources.size() != 1) return false;
+  const VertexId src = sources.front();
+  if (dag.out_degree(src) != n - 1) return false;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == src) continue;
+    const auto preds = dag.predecessors(v);
+    if (preds.size() != 1 || preds.front() != src) return false;
+    if (dag.out_degree(v) != 0) return false;
+  }
+  if (source) *source = src;
+  return true;
+}
+
+ForkAnalysis analyze_fork(const TaskGraph& graph, const FailureModel& model) {
+  VertexId src = 0;
+  ensure(is_fork(graph.dag(), &src), "analyze_fork requires a fork graph");
+
+  ForkAnalysis analysis;
+  analysis.source = src;
+  const double w_src = graph.weight(src);
+  const double c_src = graph.ckpt_cost(src);
+  const double r_src = graph.recovery_cost(src);
+
+  analysis.expected_with_checkpoint = model.expected_time(w_src, c_src, 0.0);
+  analysis.expected_without_checkpoint = model.expected_time(w_src, 0.0, 0.0);
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    if (v == src) continue;
+    analysis.expected_with_checkpoint += model.expected_time(graph.weight(v), 0.0, r_src);
+    analysis.expected_without_checkpoint += model.expected_time(graph.weight(v), 0.0, w_src);
+  }
+  analysis.checkpoint_source =
+      analysis.expected_with_checkpoint < analysis.expected_without_checkpoint;
+  analysis.optimal_expected_makespan =
+      std::min(analysis.expected_with_checkpoint, analysis.expected_without_checkpoint);
+  return analysis;
+}
+
+Schedule optimal_fork_schedule(const TaskGraph& graph, const FailureModel& model) {
+  const ForkAnalysis analysis = analyze_fork(graph, model);
+  std::vector<VertexId> order;
+  order.reserve(graph.task_count());
+  order.push_back(analysis.source);
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    if (v != analysis.source) order.push_back(v);
+  }
+  Schedule schedule = make_schedule(std::move(order));
+  schedule.checkpointed[analysis.source] = analysis.checkpoint_source ? 1 : 0;
+  return schedule;
+}
+
+}  // namespace fpsched

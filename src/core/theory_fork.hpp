@@ -1,0 +1,42 @@
+// Theorem 1: DAG-ChkptSched is solvable in linear time on fork graphs.
+//
+// A fork has one source T_src feeding n independent sinks. The sink order
+// does not matter (memoryless failures), so the only decision is whether
+// to checkpoint the source:
+//   checkpoint:     E = E[t(w_src; c_src; 0)] + sum_i E[t(w_i; 0; r_src)]
+//   no checkpoint:  E = E[t(w_src; 0; 0)]     + sum_i E[t(w_i; 0; w_src)]
+// (not checkpointing behaves like c_src = 0, r_src = w_src). Checkpointing
+// a sink is never useful: sinks have no successors.
+#pragma once
+
+#include <optional>
+
+#include "core/failure_model.hpp"
+#include "core/schedule.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+/// True iff the graph is a fork: one vertex with out-degree n-1 and no
+/// predecessors, all others depending exactly on it. Writes the source id
+/// when provided. Single-vertex graphs count as (degenerate) forks.
+bool is_fork(const Dag& dag, VertexId* source = nullptr);
+
+struct ForkAnalysis {
+  VertexId source = 0;
+  double expected_with_checkpoint = 0.0;
+  double expected_without_checkpoint = 0.0;
+  bool checkpoint_source = false;  // decision of Theorem 1
+  /// min of the two expectations.
+  double optimal_expected_makespan = 0.0;
+};
+
+/// Analyzes a fork task graph; throws InvalidArgument when `graph` is not
+/// a fork.
+ForkAnalysis analyze_fork(const TaskGraph& graph, const FailureModel& model);
+
+/// The optimal schedule per Theorem 1 (sinks in id order — any order is
+/// optimal).
+Schedule optimal_fork_schedule(const TaskGraph& graph, const FailureModel& model);
+
+}  // namespace fpsched

@@ -1,0 +1,229 @@
+#include "core/theory_join.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+bool is_join(const Dag& dag, VertexId* sink_out) {
+  const std::size_t n = dag.vertex_count();
+  if (n == 0) return false;
+  if (n == 1) {
+    if (sink_out) *sink_out = 0;
+    return true;
+  }
+  const auto sinks = dag.sinks();
+  if (sinks.size() != 1) return false;
+  const VertexId sink = sinks.front();
+  if (dag.in_degree(sink) != n - 1) return false;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == sink) continue;
+    if (dag.in_degree(v) != 0) return false;
+    const auto succs = dag.successors(v);
+    if (succs.size() != 1 || succs.front() != sink) return false;
+  }
+  if (sink_out) *sink_out = sink;
+  return true;
+}
+
+double join_g_value(const TaskGraph& graph, const FailureModel& model, VertexId source) {
+  const double lambda = model.lambda();
+  const double w = graph.weight(source);
+  const double c = graph.ckpt_cost(source);
+  const double r = graph.recovery_cost(source);
+  return std::exp(-lambda * (w + c + r)) + std::exp(-lambda * r) - std::exp(-lambda * (w + c));
+}
+
+namespace {
+
+struct JoinView {
+  VertexId sink = 0;
+  std::vector<VertexId> sources;  // all non-sink vertices, ascending id
+};
+
+JoinView join_view(const TaskGraph& graph) {
+  JoinView view;
+  ensure(is_join(graph.dag(), &view.sink), "this routine requires a join graph");
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    if (v != view.sink) view.sources.push_back(v);
+  }
+  return view;
+}
+
+/// Checkpointed sources ordered by non-increasing g (Lemma 2), ids break
+/// ties for determinism.
+std::vector<VertexId> g_sorted(const TaskGraph& graph, const FailureModel& model,
+                               std::vector<VertexId> ckpt) {
+  std::stable_sort(ckpt.begin(), ckpt.end(), [&](VertexId a, VertexId b) {
+    const double ga = join_g_value(graph, model, a);
+    const double gb = join_g_value(graph, model, b);
+    if (ga != gb) return ga > gb;
+    return a < b;
+  });
+  return ckpt;
+}
+
+}  // namespace
+
+double join_expected_time(const TaskGraph& graph, const FailureModel& model,
+                          const std::vector<VertexId>& checkpointed_sources) {
+  const JoinView view = join_view(graph);
+  for (const VertexId v : checkpointed_sources)
+    ensure(v != view.sink && v < graph.task_count(), "checkpointed set must contain sources");
+
+  const std::vector<VertexId> ckpt = g_sorted(graph, model, checkpointed_sources);
+  std::vector<std::uint8_t> is_ckpt(graph.task_count(), 0);
+  for (const VertexId v : ckpt) is_ckpt[v] = 1;
+
+  // Phase-2 fault-free work: non-checkpointed sources plus the sink.
+  double work_nckpt = graph.weight(view.sink);
+  for (const VertexId v : view.sources) {
+    if (!is_ckpt[v]) work_nckpt += graph.weight(v);
+  }
+  double recoveries = 0.0;
+  for (const VertexId v : ckpt) recoveries += graph.recovery_cost(v);
+
+  const double lambda = model.lambda();
+  if (lambda == 0.0) {
+    double total = work_nckpt;
+    for (const VertexId v : ckpt) total += graph.weight(v) + graph.ckpt_cost(v);
+    return total;
+  }
+  const double rate_factor = 1.0 / lambda + model.downtime();
+
+  // Phase 1: each checkpointed source is E[t(w_i; c_i; 0)].
+  double phase1 = 0.0;
+  for (const VertexId v : ckpt)
+    phase1 += rate_factor * std::expm1(lambda * (graph.weight(v) + graph.ckpt_cost(v)));
+
+  // t0: phase-2 expectation once every recovery is needed.
+  const double t0 = rate_factor * std::expm1(lambda * (work_nckpt + recoveries));
+  if (ckpt.empty()) return t0;
+
+  // Events E_k: the last phase-1 failure hit the k-th checkpointed task
+  // (E_1 also covers "no failure at all"). q_k from the proof of Lemma 2.
+  const std::size_t m = ckpt.size();
+  std::vector<double> wc(m);
+  for (std::size_t k = 0; k < m; ++k)
+    wc[k] = graph.weight(ckpt[k]) + graph.ckpt_cost(ckpt[k]);
+
+  double phase2 = 0.0;
+  double suffix_wc = 0.0;  // sum of w+c over sigma(k+1..m)
+  std::vector<double> prefix_r(m, 0.0);
+  for (std::size_t k = 1; k < m; ++k)
+    prefix_r[k] = prefix_r[k - 1] + graph.recovery_cost(ckpt[k - 1]);
+  for (std::size_t k = m; k-- > 0;) {
+    const double q = k == 0 ? std::exp(-lambda * suffix_wc)
+                            : (-std::expm1(-lambda * wc[k])) * std::exp(-lambda * suffix_wc);
+    const double attempt = work_nckpt + prefix_r[k];
+    const double p = std::exp(-lambda * attempt);
+    phase2 += q * (1.0 - p) * (1.0 / lambda + model.downtime() + t0);
+    suffix_wc += wc[k];
+  }
+  return phase1 + phase2;
+}
+
+double join_expected_time_zero_recovery(const TaskGraph& graph, const FailureModel& model,
+                                        const std::vector<VertexId>& checkpointed_sources) {
+  const JoinView view = join_view(graph);
+  std::vector<std::uint8_t> is_ckpt(graph.task_count(), 0);
+  for (const VertexId v : checkpointed_sources) is_ckpt[v] = 1;
+  for (const VertexId v : view.sources)
+    ensure(!is_ckpt[v] || graph.recovery_cost(v) == 0.0,
+           "Corollary 2 requires r_i = 0 for checkpointed sources");
+
+  const double lambda = model.lambda();
+  double work_nckpt = graph.weight(view.sink);
+  for (const VertexId v : view.sources)
+    if (!is_ckpt[v]) work_nckpt += graph.weight(v);
+  if (lambda == 0.0) {
+    double total = work_nckpt;
+    for (const VertexId v : view.sources)
+      if (is_ckpt[v]) total += graph.weight(v) + graph.ckpt_cost(v);
+    return total;
+  }
+  const double rate_factor = 1.0 / lambda + model.downtime();
+  double total = rate_factor * std::expm1(lambda * work_nckpt);
+  for (const VertexId v : view.sources) {
+    if (is_ckpt[v])
+      total += rate_factor * std::expm1(lambda * (graph.weight(v) + graph.ckpt_cost(v)));
+  }
+  return total;
+}
+
+Schedule join_schedule(const TaskGraph& graph, const FailureModel& model,
+                       const std::vector<VertexId>& checkpointed_sources) {
+  const JoinView view = join_view(graph);
+  const std::vector<VertexId> ckpt = g_sorted(graph, model, checkpointed_sources);
+  std::vector<std::uint8_t> is_ckpt(graph.task_count(), 0);
+  for (const VertexId v : ckpt) is_ckpt[v] = 1;
+
+  std::vector<VertexId> order = ckpt;
+  for (const VertexId v : view.sources)
+    if (!is_ckpt[v]) order.push_back(v);
+  order.push_back(view.sink);
+
+  Schedule schedule(std::move(order), std::move(is_ckpt));
+  return schedule;
+}
+
+JoinSolution solve_join_equal_costs(const TaskGraph& graph, const FailureModel& model) {
+  const JoinView view = join_view(graph);
+  ensure(!view.sources.empty(), "join solver needs at least one source");
+  const double c0 = graph.ckpt_cost(view.sources.front());
+  const double r0 = graph.recovery_cost(view.sources.front());
+  for (const VertexId v : view.sources) {
+    ensure(graph.ckpt_cost(v) == c0 && graph.recovery_cost(v) == r0,
+           "Corollary 1 requires uniform checkpoint and recovery costs");
+  }
+
+  // Decreasing weight = non-increasing g when costs are uniform.
+  std::vector<VertexId> by_weight = view.sources;
+  std::stable_sort(by_weight.begin(), by_weight.end(), [&](VertexId a, VertexId b) {
+    if (graph.weight(a) != graph.weight(b)) return graph.weight(a) > graph.weight(b);
+    return a < b;
+  });
+
+  JoinSolution best;
+  bool first = true;
+  for (std::size_t count = 0; count <= by_weight.size(); ++count) {
+    const std::vector<VertexId> ckpt(by_weight.begin(), by_weight.begin() + count);
+    const double expected = join_expected_time(graph, model, ckpt);
+    if (first || expected < best.expected_makespan) {
+      first = false;
+      best.checkpointed_sources = ckpt;
+      best.expected_makespan = expected;
+    }
+  }
+  best.schedule = join_schedule(graph, model, best.checkpointed_sources);
+  return best;
+}
+
+JoinSolution solve_join_bruteforce(const TaskGraph& graph, const FailureModel& model,
+                                   std::size_t max_sources) {
+  const JoinView view = join_view(graph);
+  ensure(view.sources.size() <= max_sources,
+         "brute-force join solver limited to " + std::to_string(max_sources) + " sources");
+
+  JoinSolution best;
+  bool first = true;
+  const std::size_t m = view.sources.size();
+  for (std::uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    std::vector<VertexId> ckpt;
+    for (std::size_t b = 0; b < m; ++b) {
+      if (mask & (1ull << b)) ckpt.push_back(view.sources[b]);
+    }
+    const double expected = join_expected_time(graph, model, ckpt);
+    if (first || expected < best.expected_makespan) {
+      first = false;
+      best.checkpointed_sources = std::move(ckpt);
+      best.expected_makespan = expected;
+    }
+  }
+  best.schedule = join_schedule(graph, model, best.checkpointed_sources);
+  return best;
+}
+
+}  // namespace fpsched

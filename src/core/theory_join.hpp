@@ -1,0 +1,70 @@
+// Join-graph theory from Section 4.1.2.
+//
+// A join has n independent sources T_1..T_n feeding one sink. For a fixed
+// partition into checkpointed (I_Ckpt) and non-checkpointed (I_NCkpt)
+// sources, the optimal schedule (Lemmas 1-2) executes the checkpointed
+// sources first, sorted by non-increasing
+//     g(i) = e^{-lambda (w_i+c_i+r_i)} + e^{-lambda r_i}
+//            - e^{-lambda (w_i+c_i)},
+// then the non-checkpointed sources (any order), then the sink; recoveries
+// happen with the sink. Its expected makespan has the closed form derived
+// in the proof of Lemma 2 (the typeset Eq. (2) of the report dropped a
+// "-1"; tests check this form against the general evaluator):
+//     t = (1/lambda + D) sum_{i in Ckpt} (e^{lambda (w_i+c_i)} - 1)
+//       + (1/lambda + D + t0) sum_k q_k (1 - p_k)
+// with t0 the all-recoveries phase-2 expectation, p_k / q_k as in the
+// paper. Choosing the partition is NP-complete (Theorem 2); Corollary 1
+// gives a polynomial algorithm when all c_i = c and r_i = r, and
+// Corollary 2 a closed form when r_i = 0.
+#pragma once
+
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "core/schedule.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+/// True iff the graph is a join: one sink, all other vertices are sources
+/// whose single successor is the sink. Writes the sink id when provided.
+bool is_join(const Dag& dag, VertexId* sink = nullptr);
+
+/// Lemma 2 ordering key g(i) (larger = earlier).
+double join_g_value(const TaskGraph& graph, const FailureModel& model, VertexId source);
+
+/// Expected makespan of the Lemma-1 shaped schedule for a given
+/// checkpointed set (sources not in `checkpointed_sources` are not
+/// checkpointed). The checkpointed sources are internally ordered by
+/// non-increasing g. Throws unless the graph is a join.
+double join_expected_time(const TaskGraph& graph, const FailureModel& model,
+                          const std::vector<VertexId>& checkpointed_sources);
+
+/// Corollary 2 closed form, valid only when every r_i = 0:
+///   (1/lambda+D) [ sum_{Ckpt} (e^{lambda (w_i+c_i)}-1)
+///                  + e^{lambda (W_NCkpt + w_sink)} - 1 ].
+double join_expected_time_zero_recovery(const TaskGraph& graph, const FailureModel& model,
+                                        const std::vector<VertexId>& checkpointed_sources);
+
+/// The Lemma-1/Lemma-2 schedule realizing join_expected_time.
+Schedule join_schedule(const TaskGraph& graph, const FailureModel& model,
+                       const std::vector<VertexId>& checkpointed_sources);
+
+struct JoinSolution {
+  std::vector<VertexId> checkpointed_sources;
+  double expected_makespan = 0.0;
+  Schedule schedule;
+};
+
+/// Corollary 1: optimal join solution when all sources share the same
+/// c and r. Sorts sources by decreasing w_i and sweeps the number of
+/// checkpointed tasks 0..n. Throws when costs are not uniform.
+JoinSolution solve_join_equal_costs(const TaskGraph& graph, const FailureModel& model);
+
+/// Exact solver enumerating all 2^n checkpoint subsets (sources ordered by
+/// g within each subset). Intended for small n (throws above `max_sources`
+/// = 20 by default); used to validate heuristics and the NP gadget.
+JoinSolution solve_join_bruteforce(const TaskGraph& graph, const FailureModel& model,
+                                   std::size_t max_sources = 20);
+
+}  // namespace fpsched

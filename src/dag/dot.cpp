@@ -1,0 +1,27 @@
+#include "dag/dot.hpp"
+
+#include <ostream>
+
+namespace fpsched {
+
+void write_dot(std::ostream& os, const Dag& dag, const DotOptions& options) {
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse];\n";
+  for (VertexId v = 0; v < dag.vertex_count(); ++v) {
+    os << "  n" << v << " [label=\"";
+    if (!options.names.empty()) os << options.names[v];
+    else os << "T" << v;
+    if (!options.annotations.empty() && !options.annotations[v].empty())
+      os << "\\n" << options.annotations[v];
+    os << "\"";
+    if (!options.checkpointed.empty() && options.checkpointed[v] != 0)
+      os << " style=filled fillcolor=gray80";
+    os << "];\n";
+  }
+  for (VertexId v = 0; v < dag.vertex_count(); ++v) {
+    for (const VertexId s : dag.successors(v)) os << "  n" << v << " -> n" << s << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace fpsched

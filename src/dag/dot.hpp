@@ -1,0 +1,26 @@
+// Graphviz DOT export for inspecting workflows and schedules.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "dag/graph.hpp"
+
+namespace fpsched {
+
+struct DotOptions {
+  std::string graph_name = "workflow";
+  /// Optional per-vertex display names (empty -> "T<i>").
+  std::span<const std::string> names = {};
+  /// Optional per-vertex labels appended to the name (e.g. weights).
+  std::span<const std::string> annotations = {};
+  /// Optional checkpoint flags; checkpointed vertices are drawn filled,
+  /// matching the shadowed tasks in the paper's Figure 1.
+  std::span<const std::uint8_t> checkpointed = {};
+};
+
+/// Writes `dag` in DOT format.
+void write_dot(std::ostream& os, const Dag& dag, const DotOptions& options = {});
+
+}  // namespace fpsched

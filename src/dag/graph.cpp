@@ -1,0 +1,124 @@
+#include "dag/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+DagBuilder::DagBuilder(std::size_t expected_vertices) {
+  edges_.reserve(expected_vertices * 2);
+  vertex_count_ = 0;
+}
+
+VertexId DagBuilder::add_vertex() { return add_vertices(1); }
+
+VertexId DagBuilder::add_vertices(std::size_t count) {
+  const VertexId first = static_cast<VertexId>(vertex_count_);
+  vertex_count_ += count;
+  return first;
+}
+
+void DagBuilder::add_edge(VertexId from, VertexId to) {
+  if (from == to) throw GraphError("self loop on vertex " + std::to_string(from));
+  if (from >= vertex_count_ || to >= vertex_count_)
+    throw GraphError("edge (" + std::to_string(from) + "," + std::to_string(to) +
+                     ") references an unknown vertex");
+  edges_.emplace_back(from, to);
+}
+
+Dag DagBuilder::build() && {
+  return Dag::from_edges(vertex_count_, edges_);
+}
+
+Dag Dag::from_edges(std::size_t n, std::span<const std::pair<VertexId, VertexId>> raw_edges) {
+  for (const auto& [u, v] : raw_edges) {
+    if (u == v) throw GraphError("self loop on vertex " + std::to_string(u));
+    if (u >= n || v >= n)
+      throw GraphError("edge (" + std::to_string(u) + "," + std::to_string(v) +
+                       ") references an unknown vertex");
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges(raw_edges.begin(), raw_edges.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Dag dag;
+  dag.pred_offsets_.assign(n + 1, 0);
+  dag.succ_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++dag.succ_offsets_[u + 1];
+    ++dag.pred_offsets_[v + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dag.pred_offsets_[i + 1] += dag.pred_offsets_[i];
+    dag.succ_offsets_[i + 1] += dag.succ_offsets_[i];
+  }
+  dag.pred_list_.resize(edges.size());
+  dag.succ_list_.resize(edges.size());
+  {
+    std::vector<std::uint32_t> pred_fill(dag.pred_offsets_.begin(), dag.pred_offsets_.end() - 1);
+    std::vector<std::uint32_t> succ_fill(dag.succ_offsets_.begin(), dag.succ_offsets_.end() - 1);
+    for (const auto& [u, v] : edges) {
+      dag.succ_list_[succ_fill[u]++] = v;
+      dag.pred_list_[pred_fill[v]++] = u;
+    }
+  }
+  // Rows come out sorted because the edge list was sorted (succ rows by
+  // construction; pred rows need a per-row sort since edges were sorted by
+  // source first).
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(dag.pred_list_.begin() + dag.pred_offsets_[v],
+              dag.pred_list_.begin() + dag.pred_offsets_[v + 1]);
+  }
+
+  // Kahn's algorithm, smallest ready id first: deterministic topological
+  // order and cycle detection in one pass.
+  std::vector<std::uint32_t> remaining(n);
+  std::priority_queue<VertexId, std::vector<VertexId>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    remaining[v] = static_cast<std::uint32_t>(dag.in_degree(static_cast<VertexId>(v)));
+    if (remaining[v] == 0) ready.push(static_cast<VertexId>(v));
+  }
+  dag.topo_order_.reserve(n);
+  while (!ready.empty()) {
+    const VertexId v = ready.top();
+    ready.pop();
+    dag.topo_order_.push_back(v);
+    for (const VertexId s : dag.successors(v)) {
+      if (--remaining[s] == 0) ready.push(s);
+    }
+  }
+  if (dag.topo_order_.size() != n) throw GraphError("graph contains a cycle");
+  return dag;
+}
+
+std::span<const VertexId> Dag::predecessors(VertexId v) const {
+  return {pred_list_.data() + pred_offsets_[v], pred_list_.data() + pred_offsets_[v + 1]};
+}
+
+std::span<const VertexId> Dag::successors(VertexId v) const {
+  return {succ_list_.data() + succ_offsets_[v], succ_list_.data() + succ_offsets_[v + 1]};
+}
+
+std::vector<VertexId> Dag::sources() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < vertex_count(); ++v)
+    if (in_degree(v) == 0) out.push_back(v);
+  return out;
+}
+
+std::vector<VertexId> Dag::sinks() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < vertex_count(); ++v)
+    if (out_degree(v) == 0) out.push_back(v);
+  return out;
+}
+
+bool Dag::has_edge(VertexId from, VertexId to) const {
+  const auto row = successors(from);
+  return std::binary_search(row.begin(), row.end(), to);
+}
+
+}  // namespace fpsched

@@ -1,0 +1,129 @@
+#include "dag/linearize.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "dag/traversal.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fpsched {
+
+std::string to_string(LinearizeMethod method) {
+  switch (method) {
+    case LinearizeMethod::depth_first: return "DF";
+    case LinearizeMethod::breadth_first: return "BF";
+    case LinearizeMethod::random_first: return "RF";
+  }
+  return "?";
+}
+
+std::span<const LinearizeMethod> all_linearize_methods() {
+  static constexpr LinearizeMethod kAll[] = {
+      LinearizeMethod::depth_first,
+      LinearizeMethod::breadth_first,
+      LinearizeMethod::random_first,
+  };
+  return kAll;
+}
+
+namespace {
+
+// Sorts `batch` by increasing (priority, then id descending) so that when
+// pushed onto a stack the highest-priority vertex pops first, with id
+// ascending as the deterministic tie break.
+void sort_for_stack(std::vector<VertexId>& batch, std::span<const double> priority) {
+  std::sort(batch.begin(), batch.end(), [&](VertexId a, VertexId b) {
+    if (priority[a] != priority[b]) return priority[a] < priority[b];
+    return a > b;
+  });
+}
+
+// Sorts `batch` by decreasing (priority, then id ascending) for FIFO use.
+void sort_for_queue(std::vector<VertexId>& batch, std::span<const double> priority) {
+  std::sort(batch.begin(), batch.end(), [&](VertexId a, VertexId b) {
+    if (priority[a] != priority[b]) return priority[a] > priority[b];
+    return a < b;
+  });
+}
+
+}  // namespace
+
+std::vector<VertexId> linearize(const Dag& dag, std::span<const double> weights,
+                                LinearizeMethod method, const LinearizeOptions& options) {
+  const std::size_t n = dag.vertex_count();
+  ensure(weights.size() == n, "weights size must match vertex count");
+
+  const std::vector<double> priority = options.outweight == OutweightMode::direct
+                                           ? direct_outweights(dag, weights)
+                                           : descendant_outweights(dag, weights);
+
+  std::vector<std::uint32_t> remaining(n);
+  std::vector<VertexId> initial;
+  for (VertexId v = 0; v < n; ++v) {
+    remaining[v] = static_cast<std::uint32_t>(dag.in_degree(v));
+    if (remaining[v] == 0) initial.push_back(v);
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  // Collects the tasks enabled by completing v.
+  std::vector<VertexId> enabled;
+  const auto complete = [&](VertexId v) {
+    enabled.clear();
+    for (const VertexId s : dag.successors(v)) {
+      if (--remaining[s] == 0) enabled.push_back(s);
+    }
+  };
+
+  switch (method) {
+    case LinearizeMethod::depth_first: {
+      std::vector<VertexId> stack;
+      sort_for_stack(initial, priority);
+      stack = initial;
+      while (!stack.empty()) {
+        const VertexId v = stack.back();
+        stack.pop_back();
+        order.push_back(v);
+        complete(v);
+        sort_for_stack(enabled, priority);
+        stack.insert(stack.end(), enabled.begin(), enabled.end());
+      }
+      break;
+    }
+    case LinearizeMethod::breadth_first: {
+      std::deque<VertexId> queue;
+      sort_for_queue(initial, priority);
+      queue.assign(initial.begin(), initial.end());
+      while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        order.push_back(v);
+        complete(v);
+        sort_for_queue(enabled, priority);
+        queue.insert(queue.end(), enabled.begin(), enabled.end());
+      }
+      break;
+    }
+    case LinearizeMethod::random_first: {
+      Rng rng(options.seed);
+      std::vector<VertexId> ready = initial;
+      while (!ready.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_index(ready.size()));
+        const VertexId v = ready[pick];
+        ready[pick] = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        complete(v);
+        ready.insert(ready.end(), enabled.begin(), enabled.end());
+      }
+      break;
+    }
+  }
+
+  if (order.size() != n) throw GraphError("linearization failed: graph has a cycle");
+  return order;
+}
+
+}  // namespace fpsched

@@ -1,0 +1,107 @@
+#include "heuristics/checkpoint_strategy.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "dag/traversal.hpp"
+#include "support/error.hpp"
+
+namespace fpsched {
+
+std::string to_string(CkptStrategy strategy) {
+  switch (strategy) {
+    case CkptStrategy::never: return "CkptNvr";
+    case CkptStrategy::always: return "CkptAlws";
+    case CkptStrategy::by_weight: return "CkptW";
+    case CkptStrategy::by_cost: return "CkptC";
+    case CkptStrategy::by_outweight: return "CkptD";
+    case CkptStrategy::periodic: return "CkptPer";
+  }
+  return "?";
+}
+
+std::span<const CkptStrategy> all_ckpt_strategies() {
+  static constexpr CkptStrategy kAll[] = {
+      CkptStrategy::never,     CkptStrategy::always,      CkptStrategy::by_weight,
+      CkptStrategy::by_cost,   CkptStrategy::by_outweight, CkptStrategy::periodic,
+  };
+  return kAll;
+}
+
+bool is_budgeted(CkptStrategy strategy) {
+  switch (strategy) {
+    case CkptStrategy::never:
+    case CkptStrategy::always: return false;
+    default: return true;
+  }
+}
+
+namespace {
+
+/// Top-`budget` vertices under `better(a, b)` (strict weak order); stable
+/// on ids for determinism.
+std::vector<std::uint8_t> top_n_flags(std::size_t n, std::size_t budget,
+                                      const std::function<bool(VertexId, VertexId)>& better) {
+  std::vector<VertexId> ranked(n);
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::stable_sort(ranked.begin(), ranked.end(), better);
+  std::vector<std::uint8_t> flags(n, 0);
+  for (std::size_t i = 0; i < std::min(budget, n); ++i) flags[ranked[i]] = 1;
+  return flags;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> place_checkpoints(const TaskGraph& graph,
+                                            std::span<const VertexId> order,
+                                            CkptStrategy strategy, std::size_t budget) {
+  const std::size_t n = graph.task_count();
+  switch (strategy) {
+    case CkptStrategy::never: return std::vector<std::uint8_t>(n, 0);
+    case CkptStrategy::always: return std::vector<std::uint8_t>(n, 1);
+    case CkptStrategy::by_weight:
+      return top_n_flags(n, budget, [&](VertexId a, VertexId b) {
+        return graph.weight(a) > graph.weight(b);  // longest computations first
+      });
+    case CkptStrategy::by_cost:
+      return top_n_flags(n, budget, [&](VertexId a, VertexId b) {
+        return graph.ckpt_cost(a) < graph.ckpt_cost(b);  // cheapest checkpoints first
+      });
+    case CkptStrategy::by_outweight: {
+      const std::vector<double> weights = graph.weights();
+      const std::vector<double> out = direct_outweights(graph.dag(), weights);
+      return top_n_flags(n, budget, [&](VertexId a, VertexId b) {
+        return out[a] > out[b];  // heaviest successor sets first
+      });
+    }
+    case CkptStrategy::periodic: {
+      ensure(order.size() == n, "periodic placement needs the linearization");
+      std::vector<std::uint8_t> flags(n, 0);
+      if (budget < 2 || n == 0) return flags;  // x = 1..N-1 is empty for N < 2
+      const double total = graph.total_weight();
+      if (total <= 0.0) return flags;
+      const double period = total / static_cast<double>(budget);
+      double elapsed = 0.0;
+      std::size_t next_mark = 1;
+      for (const VertexId v : order) {
+        elapsed += graph.weight(v);
+        // This task is the first to complete after mark x * W / N.
+        while (next_mark < budget && elapsed >= period * static_cast<double>(next_mark)) {
+          flags[v] = 1;
+          ++next_mark;
+        }
+      }
+      return flags;
+    }
+  }
+  throw InvalidArgument("unknown checkpoint strategy");
+}
+
+Schedule make_heuristic_schedule(const TaskGraph& graph, std::vector<VertexId> order,
+                                 CkptStrategy strategy, std::size_t budget) {
+  std::vector<std::uint8_t> flags = place_checkpoints(graph, order, strategy, budget);
+  return Schedule(std::move(order), std::move(flags));
+}
+
+}  // namespace fpsched

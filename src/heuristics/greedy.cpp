@@ -1,0 +1,75 @@
+#include "heuristics/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/threading.hpp"
+
+namespace fpsched {
+
+GreedyResult greedy_checkpoint_search(const ScheduleEvaluator& evaluator,
+                                      const std::vector<VertexId>& order,
+                                      const GreedyOptions& options) {
+  const TaskGraph& graph = evaluator.graph();
+  const std::size_t n = graph.task_count();
+  ensure(order.size() == n, "order size must match the task count");
+
+  Schedule current = make_schedule(order);
+  validate_schedule(graph, current);
+
+  const std::size_t worker_count =
+      options.threads == 0 ? default_thread_count() : options.threads;
+  std::vector<EvaluatorWorkspace> workspaces(std::max<std::size_t>(worker_count, 1));
+
+  GreedyResult result;
+  {
+    EvaluatorWorkspace ws;
+    result.expected_makespan = evaluator.expected_makespan(current, ws, /*validate=*/false);
+  }
+  result.trajectory.push_back(result.expected_makespan);
+
+  const std::size_t round_limit = options.max_rounds == 0 ? n + 1 : options.max_rounds;
+  std::vector<double> candidate_value(n);
+  for (std::size_t round = 0; round < round_limit; ++round) {
+    // Evaluate every single-flip neighbour (insert where absent, remove
+    // where present if allowed).
+    parallel_for_workers(
+        0, n,
+        [&](std::size_t v, std::size_t worker) {
+          const bool flagged = current.checkpointed[v] != 0;
+          if (flagged && !options.allow_removal) {
+            candidate_value[v] = std::numeric_limits<double>::infinity();
+            return;
+          }
+          Schedule candidate = current;
+          candidate.checkpointed[v] = flagged ? 0 : 1;
+          candidate_value[v] =
+              evaluator.expected_makespan(candidate, workspaces[worker], /*validate=*/false);
+        },
+        worker_count);
+
+    std::size_t best = n;
+    double best_value = result.expected_makespan;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (candidate_value[v] < best_value) {
+        best_value = candidate_value[v];
+        best = v;
+      }
+    }
+    if (best == n) break;  // no improving move
+    const double gain = (result.expected_makespan - best_value) /
+                        std::max(result.expected_makespan, 1e-300);
+    if (gain < options.min_relative_gain) break;
+    current.checkpointed[best] ^= 1;
+    result.expected_makespan = best_value;
+    result.trajectory.push_back(best_value);
+    ++result.rounds;
+  }
+
+  result.schedule = std::move(current);
+  return result;
+}
+
+}  // namespace fpsched

@@ -1,0 +1,67 @@
+#include "heuristics/heuristic.hpp"
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+std::string HeuristicSpec::name() const {
+  return to_string(linearization) + "-" + to_string(checkpointing);
+}
+
+std::vector<HeuristicSpec> all_heuristics() {
+  std::vector<HeuristicSpec> specs;
+  specs.push_back({LinearizeMethod::depth_first, CkptStrategy::never});
+  specs.push_back({LinearizeMethod::depth_first, CkptStrategy::always});
+  for (const HeuristicSpec& spec : budgeted_heuristics()) specs.push_back(spec);
+  return specs;
+}
+
+std::vector<HeuristicSpec> budgeted_heuristics() {
+  std::vector<HeuristicSpec> specs;
+  for (const LinearizeMethod lin : all_linearize_methods()) {
+    for (const CkptStrategy ck : {CkptStrategy::by_weight, CkptStrategy::by_cost,
+                                  CkptStrategy::by_outweight, CkptStrategy::periodic}) {
+      specs.push_back({lin, ck});
+    }
+  }
+  return specs;
+}
+
+HeuristicResult run_heuristic(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
+                              const HeuristicOptions& options) {
+  const TaskGraph& graph = evaluator.graph();
+  const std::vector<double> weights = graph.weights();
+  std::vector<VertexId> order =
+      linearize(graph.dag(), weights, spec.linearization, options.linearize);
+
+  SweepResult sweep = sweep_checkpoint_budget(evaluator, order, spec.checkpointing, options.sweep);
+
+  HeuristicResult result;
+  result.spec = spec;
+  result.best_budget = sweep.best_budget;
+  result.curve = std::move(sweep.curve);
+  result.evaluation = evaluator.evaluate(sweep.best_schedule);
+  result.schedule = std::move(sweep.best_schedule);
+  return result;
+}
+
+std::vector<HeuristicResult> run_heuristics(const ScheduleEvaluator& evaluator,
+                                            const std::vector<HeuristicSpec>& specs,
+                                            const HeuristicOptions& options) {
+  std::vector<HeuristicResult> results;
+  results.reserve(specs.size());
+  for (const HeuristicSpec& spec : specs) results.push_back(run_heuristic(evaluator, spec, options));
+  return results;
+}
+
+std::size_t best_result_index(const std::vector<HeuristicResult>& results) {
+  ensure(!results.empty(), "best_result_index needs at least one result");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].evaluation.expected_makespan < results[best].evaluation.expected_makespan)
+      best = i;
+  }
+  return best;
+}
+
+}  // namespace fpsched

@@ -1,0 +1,51 @@
+// Exhaustive checkpoint-budget sweep (Section 5).
+//
+// The budgeted strategies (CkptW/C/D/Per) fix the number of checkpoints N
+// and the paper searches N = 1..n-1 exhaustively, evaluating each
+// candidate schedule with the Theorem-3 evaluator and keeping the best.
+// The sweep is embarrassingly parallel over N; each worker reuses a
+// private evaluator workspace. A stride > 1 subsamples the N grid — an
+// ablation bench quantifies the quality loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/schedule.hpp"
+#include "heuristics/checkpoint_strategy.hpp"
+
+namespace fpsched {
+
+struct SweepOptions {
+  /// Evaluate budgets 1, 1+stride, 1+2*stride, ...; n-1 is always included.
+  std::size_t stride = 1;
+  /// 0 = default_thread_count(); 1 = serial.
+  std::size_t threads = 0;
+  /// Also evaluate N = 0 (no checkpoints). The paper sweeps 1..n-1 only;
+  /// keeping 0 off by default stays faithful.
+  bool include_zero = false;
+};
+
+struct SweepPoint {
+  std::size_t budget = 0;
+  /// Checkpoints actually taken (periodic may take fewer than the budget).
+  std::size_t checkpoints = 0;
+  double expected_makespan = 0.0;
+};
+
+struct SweepResult {
+  std::size_t best_budget = 0;
+  double best_expected_makespan = 0.0;
+  Schedule best_schedule;
+  /// One point per evaluated budget, ascending.
+  std::vector<SweepPoint> curve;
+};
+
+/// Sweeps the checkpoint budget for a budgeted strategy on a fixed
+/// linearization. For non-budgeted strategies returns the single candidate.
+SweepResult sweep_checkpoint_budget(const ScheduleEvaluator& evaluator,
+                                    const std::vector<VertexId>& order, CkptStrategy strategy,
+                                    const SweepOptions& options = {});
+
+}  // namespace fpsched

@@ -1,0 +1,151 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+std::string to_string(SimEvent::Kind kind) {
+  switch (kind) {
+    case SimEvent::Kind::task_start: return "start";
+    case SimEvent::Kind::recovery: return "recover";
+    case SimEvent::Kind::reexecution: return "re-execute";
+    case SimEvent::Kind::task_complete: return "complete";
+    case SimEvent::Kind::checkpoint_done: return "checkpoint";
+    case SimEvent::Kind::failure: return "FAILURE";
+  }
+  return "?";
+}
+
+FaultSimulator::FaultSimulator(const TaskGraph& graph, FailureModel model, Schedule schedule)
+    : graph_(&graph), model_(model), schedule_(std::move(schedule)) {
+  validate_schedule(graph, schedule_);
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    fault_free_time_ += graph.weight(v);
+    if (schedule_.is_checkpointed(v)) fault_free_time_ += graph.ckpt_cost(v);
+  }
+}
+
+namespace {
+
+/// One fault-interruptible unit of the segment built for a task.
+struct Atom {
+  SimEvent::Kind kind;  // recovery / reexecution / task_complete / checkpoint_done
+  VertexId task;
+  double duration;
+};
+
+}  // namespace
+
+SimResult FaultSimulator::run(Rng& rng, bool record_trace) const {
+  if (model_.failure_free()) return run_impl(rng, nullptr, record_trace);
+  const FaultDistribution faults = FaultDistribution::exponential(model_.lambda());
+  return run_impl(rng, &faults, record_trace);
+}
+
+SimResult FaultSimulator::run_with_distribution(Rng& rng, const FaultDistribution& faults,
+                                                bool record_trace) const {
+  return run_impl(rng, &faults, record_trace);
+}
+
+SimResult FaultSimulator::run_impl(Rng& rng, const FaultDistribution* faults,
+                                   bool record_trace) const {
+  const Dag& dag = graph_->dag();
+  const std::size_t n = graph_->task_count();
+  SimResult result;
+
+  std::vector<std::uint8_t> in_memory(n, 0);
+  std::vector<std::uint8_t> on_disk(n, 0);
+  // Plan-builder DFS state: 0 = unvisited, 1 = expansion pending,
+  // 2 = already placed in the plan.
+  std::vector<std::uint8_t> mark(n, 0);
+  std::vector<Atom> plan;
+  double clock = 0.0;
+
+  // Builds the recovery plan for `target` against the current memory /
+  // disk state, in dependency order (post-order DFS over lost inputs).
+  const auto build_plan = [&](VertexId target) {
+    plan.clear();
+    std::fill(mark.begin(), mark.end(), 0);
+    // Iterative post-order: (vertex, expanded?) pairs.
+    std::vector<std::pair<VertexId, bool>> stack;
+    for (const VertexId p : dag.predecessors(target)) stack.emplace_back(p, false);
+    while (!stack.empty()) {
+      const auto [v, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        // All inputs of v are planned by now: re-execute v.
+        mark[v] = 2;
+        plan.push_back({SimEvent::Kind::reexecution, v, graph_->weight(v)});
+        continue;
+      }
+      if (in_memory[v] || mark[v] != 0) continue;
+      if (on_disk[v]) {
+        mark[v] = 2;
+        plan.push_back({SimEvent::Kind::recovery, v, graph_->recovery_cost(v)});
+        continue;
+      }
+      // Lost and not checkpointed: re-execute after its own inputs.
+      mark[v] = 1;
+      stack.emplace_back(v, true);
+      for (const VertexId p : dag.predecessors(v)) stack.emplace_back(p, false);
+    }
+    plan.push_back({SimEvent::Kind::task_complete, target, graph_->weight(target)});
+    if (schedule_.is_checkpointed(target))
+      plan.push_back({SimEvent::Kind::checkpoint_done, target, graph_->ckpt_cost(target)});
+  };
+
+  const auto emit = [&](SimEvent::Kind kind, VertexId task, double time) {
+    if (record_trace) result.trace.push_back({kind, task, time});
+  };
+
+  // Failures form a renewal process over platform *uptime*: the next
+  // failure is `fault_in` uptime-seconds away, re-sampled only when a
+  // failure occurs (each failure is a renewal point; the downtime is not
+  // exposed to failures). For the exponential law this is equivalent to
+  // per-attempt sampling by memorylessness; for Weibull it is the correct
+  // semantics.
+  double fault_in =
+      faults ? faults->sample_gap(rng) : std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = schedule_.order[i];
+    emit(SimEvent::Kind::task_start, v, clock);
+    for (;;) {
+      build_plan(v);
+      double segment = 0.0;
+      for (const Atom& atom : plan) segment += atom.duration;
+      if (fault_in >= segment) {
+        // Fault-free attempt: commit every atom.
+        fault_in -= segment;
+        for (const Atom& atom : plan) {
+          clock += atom.duration;
+          emit(atom.kind, atom.task, clock);
+          switch (atom.kind) {
+            case SimEvent::Kind::recovery:
+            case SimEvent::Kind::reexecution:
+            case SimEvent::Kind::task_complete: in_memory[atom.task] = 1; break;
+            case SimEvent::Kind::checkpoint_done: on_disk[atom.task] = 1; break;
+            default: break;
+          }
+        }
+        break;
+      }
+      // A failure interrupts the segment: lose all memory, pay downtime.
+      clock += fault_in;
+      emit(SimEvent::Kind::failure, v, clock);
+      clock += model_.downtime();
+      ++result.failure_count;
+      std::fill(in_memory.begin(), in_memory.end(), 0);
+      fault_in = faults->sample_gap(rng);
+    }
+  }
+
+  result.makespan = clock;
+  result.wasted_time = clock - fault_free_time_;
+  return result;
+}
+
+}  // namespace fpsched

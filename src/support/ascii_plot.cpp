@@ -1,0 +1,101 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+namespace {
+constexpr std::string_view kGlyphs = "*o+x#@%&$~^=";
+}
+
+AsciiChart::AsciiChart(std::string title, std::size_t width, std::size_t height)
+    : title_(std::move(title)), width_(std::max<std::size_t>(width, 16)),
+      height_(std::max<std::size_t>(height, 6)) {}
+
+void AsciiChart::add_series(PlotSeries series) {
+  ensure(series.xs.size() == series.ys.size(), "series x/y sizes must match");
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      xmin = std::min(xmin, s.xs[i]);
+      xmax = std::max(xmax, s.xs[i]);
+      ymin = std::min(ymin, s.ys[i]);
+      ymax = std::max(ymax, s.ys[i]);
+      any = true;
+    }
+  }
+  if (!any) return;
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+  // A little headroom so extremal points are not glued to the frame.
+  const double ypad = 0.05 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % kGlyphs.size()];
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      const double fx = (s.xs[i] - xmin) / (xmax - xmin);
+      const double fy = (s.ys[i] - ymin) / (ymax - ymin);
+      const std::size_t col =
+          std::min(width_ - 1, static_cast<std::size_t>(std::lround(fx * (width_ - 1))));
+      const std::size_t row =
+          std::min(height_ - 1, static_cast<std::size_t>(std::lround(fy * (height_ - 1))));
+      grid[height_ - 1 - row][col] = glyph;  // row 0 is the top line
+    }
+  }
+
+  os << title_ << "\n";
+  if (!y_label_.empty()) os << "  y: " << y_label_ << "\n";
+  const auto ytick = [&](std::size_t screen_row) {
+    const double frac = 1.0 - static_cast<double>(screen_row) / (height_ - 1);
+    return ymin + frac * (ymax - ymin);
+  };
+  for (std::size_t row = 0; row < height_; ++row) {
+    std::ostringstream label;
+    label << std::setw(9) << std::setprecision(4) << ytick(row);
+    os << label.str() << " |" << grid[row] << "|\n";
+  }
+  os << std::string(10, ' ') << '+' << std::string(width_, '-') << "+\n";
+  {
+    std::ostringstream xs;
+    xs << std::setprecision(4) << xmin;
+    std::ostringstream xe;
+    xe << std::setprecision(4) << xmax;
+    const std::string left = xs.str();
+    const std::string right = xe.str();
+    os << std::string(11, ' ') << left;
+    const std::size_t pad = width_ > left.size() + right.size()
+                                ? width_ - left.size() - right.size()
+                                : 1;
+    os << std::string(pad, ' ') << right;
+    if (!x_label_.empty()) os << "   x: " << x_label_;
+    os << "\n";
+  }
+  os << "  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  " << kGlyphs[si % kGlyphs.size()] << " = " << series_[si].name;
+  }
+  os << "\n";
+}
+
+}  // namespace fpsched

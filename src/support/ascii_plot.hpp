@@ -1,0 +1,44 @@
+// Terminal line charts, used by the bench harness to render the paper's
+// figures directly in the console (one glyph per series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpsched {
+
+/// A named series of (x, y) points.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders a multi-series scatter/line chart onto a character grid.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::size_t width = 72, std::size_t height = 20);
+
+  /// Adds a series; points with NaN/inf y values are skipped at render time.
+  void add_series(PlotSeries series);
+
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  bool empty() const { return series_.empty(); }
+
+  /// Draws the chart. Each series uses its own glyph; a legend maps glyphs
+  /// to series names. Does nothing for charts with no finite points.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace fpsched

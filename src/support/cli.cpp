@@ -1,0 +1,138 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+CliParser::CliParser(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  ensure(!options_.contains(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  ensure(!options_.contains(name), "duplicate option: " + name);
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+}
+
+const CliParser::Option& CliParser::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) throw InvalidArgument("unknown option --" + name + "\n" + help_text());
+  return it->second;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw InvalidArgument("positional arguments are not supported: " + arg + "\n" + help_text());
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Option& opt = find(arg);
+    if (opt.is_flag) {
+      if (has_value) throw InvalidArgument("flag --" + arg + " does not take a value");
+      values_[arg] = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw InvalidArgument("option --" + arg + " expects a value");
+      value = argv[++i];
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Option& opt = find(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? opt.default_value : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string raw = get_string(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0')
+    throw InvalidArgument("option --" + name + " expects an integer, got '" + raw + "'");
+  return v;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string raw = get_string(name);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0')
+    throw InvalidArgument("option --" + name + " expects a number, got '" + raw + "'");
+  return v;
+}
+
+bool CliParser::get_flag(const std::string& name) const { return get_string(name) == "true"; }
+
+namespace {
+std::vector<std::string> split_commas(const std::string& raw) {
+  std::vector<std::string> parts;
+  std::stringstream ss(raw);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+}  // namespace
+
+std::vector<std::int64_t> CliParser::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_commas(get_string(name))) {
+    char* end = nullptr;
+    const long long v = std::strtoll(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0')
+      throw InvalidArgument("option --" + name + ": bad integer '" + part + "'");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& part : split_commas(get_string(name))) {
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0')
+      throw InvalidArgument("option --" + name + ": bad number '" + part + "'");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << summary_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (!opt.is_flag) os << " (default: " << opt.default_value << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fpsched

@@ -1,0 +1,60 @@
+// Minimal command line parser for the examples and benches.
+//
+// Supported syntax: `--name value`, `--name=value`, boolean `--flag`.
+// Unknown options raise an error that lists the registered options, so every
+// binary self-documents via `--help`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fpsched {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers an option with a default value (all values are strings
+  /// internally; typed getters convert on access).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Registers a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false when --help was requested (help text is
+  /// written to stdout); throws InvalidArgument on unknown or malformed
+  /// arguments.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Comma-separated list of integers (e.g. "50,100,200").
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+  /// Comma-separated list of doubles.
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fpsched

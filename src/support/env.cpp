@@ -1,0 +1,28 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace fpsched {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::size_t env_size(const std::string& name, std::size_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw || raw->empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t default_thread_count() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return env_size("FPSCHED_THREADS", hw);
+}
+
+}  // namespace fpsched

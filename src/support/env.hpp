@@ -1,0 +1,21 @@
+// Small helpers to read configuration from environment variables.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace fpsched {
+
+/// Returns the value of environment variable `name`, or nullopt when unset.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Parses `name` as a non-negative integer; returns `fallback` when unset
+/// or unparsable.
+std::size_t env_size(const std::string& name, std::size_t fallback);
+
+/// Number of worker threads the library should use. Reads FPSCHED_THREADS,
+/// falling back to std::thread::hardware_concurrency() (at least 1).
+std::size_t default_thread_count();
+
+}  // namespace fpsched

@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace fpsched::detail {
+
+void throw_check_failure(std::string_view expr, std::string_view message,
+                         const std::source_location& loc) {
+  std::ostringstream os;
+  os << expr << " failed at " << loc.file_name() << ":" << loc.line() << " (" << loc.function_name()
+     << "): " << message;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace fpsched::detail

@@ -1,0 +1,52 @@
+// Fixed-width console tables and CSV output for benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpsched {
+
+/// Formats `value` with `digits` significant decimal places (fixed).
+std::string format_double(double value, int digits = 3);
+
+/// A small column-aligned table. Cells are strings; numeric helpers are
+/// provided for the common case. Rendering pads every column to its widest
+/// cell; `to_csv` emits RFC-4180-style rows (quoting cells that need it).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row builder for mixed string/number rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(std::string value);
+    RowBuilder& cell(double value, int digits = 3);
+    RowBuilder& cell(std::size_t value);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void print(std::ostream& os) const;
+  void to_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fpsched

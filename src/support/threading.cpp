@@ -1,0 +1,117 @@
+#include "support/threading.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace fpsched {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  ensure(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ensure(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are captured in the packaged_task's future
+  }
+}
+
+namespace {
+
+void run_indexed(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t num_threads) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  std::size_t threads = num_threads == 0 ? default_thread_count() : num_threads;
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i, 0);
+    return;
+  }
+
+  // Dynamic chunking over a shared atomic cursor: good load balance when
+  // per-index cost varies (e.g. evaluator cost grows with checkpoint count).
+  std::atomic<std::size_t> cursor{begin};
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t worker = 0; worker < threads; ++worker) {
+    pool.emplace_back([&, worker] {
+      for (;;) {
+        const std::size_t lo = cursor.fetch_add(chunk);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(end, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          try {
+            body(i, worker);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error) return;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end, const std::function<void(std::size_t)>& body,
+                  std::size_t num_threads) {
+  run_indexed(begin, end, [&](std::size_t i, std::size_t) { body(i); }, num_threads);
+}
+
+void parallel_for_workers(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          std::size_t num_threads) {
+  run_indexed(begin, end, body, num_threads);
+}
+
+}  // namespace fpsched

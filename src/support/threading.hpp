@@ -1,0 +1,61 @@
+// Shared-memory parallelism helpers: a fixed thread pool and parallel_for.
+//
+// The heuristics' exhaustive N-sweeps and the Monte-Carlo trial runner are
+// embarrassingly parallel; we follow the "think in tasks, not threads"
+// guideline: callers submit index ranges, workers own private scratch
+// space, and results are written to disjoint slots so no locking is needed
+// on the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fpsched {
+
+/// A fixed-size pool of worker threads consuming a FIFO of tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any exception the task
+  /// raised.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for every i in [begin, end) across up to `num_threads`
+/// threads (0 = default_thread_count()). Indices are processed in chunks;
+/// the call returns when all indices completed. Exceptions from any chunk
+/// are rethrown (first one wins). body must be safe to call concurrently
+/// for distinct indices. Falls back to a serial loop for small ranges.
+void parallel_for(std::size_t begin, std::size_t end, const std::function<void(std::size_t)>& body,
+                  std::size_t num_threads = 0);
+
+/// Variant passing (index, worker_id) so callers can maintain per-worker
+/// scratch state; worker_id < effective thread count.
+void parallel_for_workers(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          std::size_t num_threads = 0);
+
+}  // namespace fpsched

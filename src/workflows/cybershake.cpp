@@ -1,0 +1,67 @@
+// Synthetic SCEC CyberShake workflow (seismic hazard curves).
+//
+// Shape (Bharathi et al. 2008): per site, a couple of strain Green tensor
+// extractions (ExtractSGT) feed a wide fan of SeismogramSynthesis tasks;
+// each synthesis is post-processed by a PeakValCalc; two aggregation tasks
+// (ZipSeis over the seismograms, ZipPSA over the peak values) close the
+// site. Average task weight in the paper: ~25 s.
+#include <algorithm>
+
+#include "workflows/generator.hpp"
+#include "workflows/workflow_detail.hpp"
+
+namespace fpsched {
+
+TaskGraph generate_cybershake(const GeneratorConfig& config) {
+  detail::require_minimum(config, WorkflowKind::cybershake);
+  detail::WorkflowAssembler a(config, "CyberShake");
+
+  const std::size_t n = config.task_count;
+  // Per site: e extracts (2, sometimes 3 to fix parity) + s synthesis +
+  // s peak-value + 2 zips.
+  std::size_t sites = std::max<std::size_t>(1, (n + 50) / 100);
+  while (sites > 1 && n < sites * 8) --sites;
+
+  std::size_t remaining = n - 4 * sites;  // synthesis+peak pairs plus parity
+  bool extra_extract = false;
+  if (remaining % 2 == 1) {
+    extra_extract = true;  // one site gets a third ExtractSGT
+    remaining -= 1;
+  }
+  const std::size_t pairs_total = remaining / 2;
+  std::vector<std::size_t> pairs(sites, pairs_total / sites);
+  for (std::size_t s = 0; s < pairs_total % sites; ++s) ++pairs[s];
+
+  for (std::size_t s = 0; s < sites; ++s) {
+    std::vector<VertexId> extracts;
+    const std::size_t extract_count = (s == 0 && extra_extract) ? 3 : 2;
+    for (std::size_t e = 0; e < extract_count; ++e) extracts.push_back(a.add("ExtractSGT", 110.0));
+
+    std::vector<VertexId> synths;
+    std::vector<VertexId> peaks;
+    for (std::size_t i = 0; i < pairs[s]; ++i) {
+      const VertexId synth = a.add("SeismogramSynthesis", 42.0);
+      a.edge(extracts[i % extracts.size()], synth);
+      synths.push_back(synth);
+      const VertexId peak = a.add("PeakValCalc", 6.0);
+      a.edge(synth, peak);
+      peaks.push_back(peak);
+    }
+
+    const VertexId zip_seis = a.add("ZipSeis", 35.0);
+    for (const VertexId v : synths) a.edge(v, zip_seis);
+    const VertexId zip_psa = a.add("ZipPSA", 35.0);
+    for (const VertexId v : peaks) a.edge(v, zip_psa);
+    if (synths.empty()) {
+      // Degenerate tiny site: keep the zips attached to the extracts.
+      for (const VertexId e : extracts) {
+        a.edge(e, zip_seis);
+        a.edge(e, zip_psa);
+      }
+    }
+  }
+
+  return a.finish();
+}
+
+}  // namespace fpsched

@@ -1,0 +1,51 @@
+#include "workflows/generator.hpp"
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+TaskGraph generate_workflow(WorkflowKind kind, const GeneratorConfig& config) {
+  switch (kind) {
+    case WorkflowKind::montage: return generate_montage(config);
+    case WorkflowKind::ligo: return generate_ligo(config);
+    case WorkflowKind::cybershake: return generate_cybershake(config);
+    case WorkflowKind::genome: return generate_genome(config);
+  }
+  throw InvalidArgument("unknown workflow kind");
+}
+
+std::string to_string(WorkflowKind kind) {
+  switch (kind) {
+    case WorkflowKind::montage: return "Montage";
+    case WorkflowKind::ligo: return "Ligo";
+    case WorkflowKind::cybershake: return "CyberShake";
+    case WorkflowKind::genome: return "Genome";
+  }
+  return "?";
+}
+
+std::span<const WorkflowKind> all_workflow_kinds() {
+  static constexpr WorkflowKind kAll[] = {
+      WorkflowKind::montage,
+      WorkflowKind::ligo,
+      WorkflowKind::cybershake,
+      WorkflowKind::genome,
+  };
+  return kAll;
+}
+
+std::size_t minimum_task_count(WorkflowKind kind) {
+  switch (kind) {
+    case WorkflowKind::montage: return 20;
+    case WorkflowKind::ligo: return 12;
+    case WorkflowKind::cybershake: return 8;
+    case WorkflowKind::genome: return 10;
+  }
+  return 8;
+}
+
+double paper_lambda(WorkflowKind kind) {
+  return kind == WorkflowKind::genome ? 1e-4 : 1e-3;
+}
+
+}  // namespace fpsched

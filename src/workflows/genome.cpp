@@ -1,0 +1,82 @@
+// Synthetic USC Epigenomics ("Genome") workflow (DNA methylation mapping).
+//
+// Shape (Bharathi et al. 2008): per sequencing lane, a fastqSplit fans out
+// into parallel per-chunk pipelines filterContams -> sol2sanger ->
+// fastq2bfq -> map (deep four-task chains dominated by the map step); a
+// mapMerge joins the lane, and global maqIndex -> pileup stages close the
+// workflow. Average task weight in the paper: > 1000 s, an order of
+// magnitude heavier than the other workflows.
+#include <algorithm>
+
+#include "workflows/generator.hpp"
+#include "workflows/workflow_detail.hpp"
+
+namespace fpsched {
+
+namespace {
+// Stage means along a per-chunk chain; chains are extended cyclically with
+// extra conversion stages when the requested task count needs padding.
+struct Stage {
+  const char* type;
+  double mean;
+};
+constexpr Stage kChainStages[] = {
+    {"filterContams", 300.0},
+    {"sol2sanger", 90.0},
+    {"fastq2bfq", 150.0},
+    {"map", 4000.0},
+    {"mapPad", 600.0},  // padding stages (rare): extra alignment passes
+    {"mapPad2", 600.0},
+};
+}  // namespace
+
+TaskGraph generate_genome(const GeneratorConfig& config) {
+  detail::require_minimum(config, WorkflowKind::genome);
+  detail::WorkflowAssembler a(config, "Genome");
+
+  const std::size_t n = config.task_count;
+  std::size_t lanes = std::max<std::size_t>(1, (n + 60) / 120);
+  // Every lane costs 2 fixed tasks (fastqSplit, mapMerge) and needs at
+  // least one 4-task chain; 2 global tasks (maqIndex, pileup).
+  while (lanes > 1 && n < 2 + lanes * 6) --lanes;
+
+  const std::size_t chain_budget = n - 2 - 2 * lanes;
+  std::size_t chain_count = std::max<std::size_t>(lanes, chain_budget / 4);
+  while (chain_count * 4 > chain_budget) --chain_count;
+  std::vector<std::size_t> chain_length(chain_count, 4);
+  {
+    std::size_t leftover = chain_budget - 4 * chain_count;
+    for (std::size_t c = 0; leftover > 0; c = (c + 1) % chain_count, --leftover)
+      ++chain_length[c];
+  }
+
+  // Distribute chains over lanes round-robin.
+  std::vector<std::vector<std::size_t>> lane_chains(lanes);
+  for (std::size_t c = 0; c < chain_count; ++c) lane_chains[c % lanes].push_back(chain_length[c]);
+
+  std::vector<VertexId> merges;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const VertexId split = a.add("fastqSplit", 120.0);
+    const VertexId merge = a.add("mapMerge", 500.0);
+    merges.push_back(merge);
+    for (const std::size_t length : lane_chains[lane]) {
+      VertexId prev = split;
+      for (std::size_t s = 0; s < length; ++s) {
+        const Stage& stage = kChainStages[std::min<std::size_t>(s, std::size(kChainStages) - 1)];
+        const VertexId t = a.add(stage.type, stage.mean);
+        a.edge(prev, t);
+        prev = t;
+      }
+      a.edge(prev, merge);
+    }
+  }
+
+  const VertexId index = a.add("maqIndex", 300.0);
+  for (const VertexId m : merges) a.edge(m, index);
+  const VertexId pileup = a.add("pileup", 400.0);
+  a.edge(index, pileup);
+
+  return a.finish();
+}
+
+}  // namespace fpsched

@@ -1,0 +1,119 @@
+#include "workflows/io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+namespace {
+constexpr std::string_view kMagic = "fpsched-workflow";
+constexpr int kVersion = 1;
+
+// Reads the next content line (skipping blank lines and '#' comments).
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+void save_workflow(std::ostream& os, const TaskGraph& graph) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "tasks " << graph.task_count() << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    const Task& t = graph.task(v);
+    os << v << ' ' << (t.name.empty() ? "task" + std::to_string(v) : t.name) << ' '
+       << (t.type.empty() ? "generic" : t.type) << ' ' << t.weight << ' ' << t.ckpt_cost << ' '
+       << t.recovery_cost << '\n';
+  }
+  os << "edges " << graph.dag().edge_count() << '\n';
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    for (const VertexId s : graph.dag().successors(v)) os << v << ' ' << s << '\n';
+  }
+}
+
+void save_workflow_file(const std::string& path, const TaskGraph& graph) {
+  std::ofstream os(path);
+  ensure(os.good(), "cannot open " + path + " for writing");
+  save_workflow(os, graph);
+  ensure(os.good(), "write to " + path + " failed");
+}
+
+TaskGraph load_workflow(std::istream& is) {
+  std::string line;
+  if (!next_line(is, line)) throw ParseError("empty workflow file");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic) throw ParseError("bad magic: '" + magic + "'");
+    if (version != kVersion) throw ParseError("unsupported version " + std::to_string(version));
+  }
+
+  if (!next_line(is, line)) throw ParseError("missing 'tasks' section");
+  std::size_t n = 0;
+  {
+    std::istringstream section(line);
+    std::string keyword;
+    section >> keyword >> n;
+    if (keyword != "tasks" || section.fail()) throw ParseError("malformed 'tasks' line: " + line);
+  }
+
+  std::vector<Task> tasks(n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!next_line(is, line)) throw ParseError("truncated task list");
+    std::istringstream row(line);
+    std::size_t id = 0;
+    Task t;
+    row >> id >> t.name >> t.type >> t.weight >> t.ckpt_cost >> t.recovery_cost;
+    if (row.fail() || id >= n) throw ParseError("malformed task line: " + line);
+    if (seen[id]) throw ParseError("duplicate task id " + std::to_string(id));
+    seen[id] = true;
+    tasks[id] = std::move(t);
+  }
+
+  if (!next_line(is, line)) throw ParseError("missing 'edges' section");
+  std::size_t m = 0;
+  {
+    std::istringstream section(line);
+    std::string keyword;
+    section >> keyword >> m;
+    if (keyword != "edges" || section.fail()) throw ParseError("malformed 'edges' line: " + line);
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!next_line(is, line)) throw ParseError("truncated edge list");
+    std::istringstream row(line);
+    std::size_t u = 0;
+    std::size_t v = 0;
+    row >> u >> v;
+    if (row.fail() || u >= n || v >= n) throw ParseError("malformed edge line: " + line);
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+
+  try {
+    return TaskGraph(Dag::from_edges(n, edges), std::move(tasks));
+  } catch (const Error& e) {
+    throw ParseError(std::string("invalid workflow: ") + e.what());
+  }
+}
+
+TaskGraph load_workflow_file(const std::string& path) {
+  std::ifstream is(path);
+  ensure(is.good(), "cannot open " + path);
+  return load_workflow(is);
+}
+
+}  // namespace fpsched

@@ -1,0 +1,25 @@
+// Plain-text serialization of task graphs (".wf" files).
+//
+// Format (line oriented, '#' comments allowed):
+//   fpsched-workflow 1
+//   tasks <n>
+//   <id> <name> <type> <weight> <ckpt_cost> <recovery_cost>   (n lines)
+//   edges <m>
+//   <from> <to>                                               (m lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workflows/task_graph.hpp"
+
+namespace fpsched {
+
+void save_workflow(std::ostream& os, const TaskGraph& graph);
+void save_workflow_file(const std::string& path, const TaskGraph& graph);
+
+/// Throws ParseError on malformed input (bad header, counts, ids, costs).
+TaskGraph load_workflow(std::istream& is);
+TaskGraph load_workflow_file(const std::string& path);
+
+}  // namespace fpsched

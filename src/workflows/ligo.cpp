@@ -1,0 +1,78 @@
+// Synthetic LIGO Inspiral Analysis workflow (gravitational waveforms).
+//
+// Shape (Bharathi et al. 2008): independent analysis groups. In a group,
+// template banks (TmpltBank) feed matched-filter Inspiral tasks one-to-one;
+// a coincidence stage (Thinca) joins the group, triggers are re-banked
+// (TrigBank), refiltered (Inspiral, second stage) and joined again
+// (Thinca2). Average task weight in the paper: ~220 s (the Inspiral stages
+// dominate).
+#include <algorithm>
+
+#include "workflows/generator.hpp"
+#include "workflows/workflow_detail.hpp"
+
+namespace fpsched {
+
+namespace {
+constexpr std::size_t kBankFanout = 5;   // TmpltBank/Inspiral pairs per group
+constexpr std::size_t kTrigFanout = 5;   // TrigBank/Inspiral2 pairs per group
+constexpr std::size_t kGroupSize = 2 * kBankFanout + 2 * kTrigFanout + 2;
+}  // namespace
+
+TaskGraph generate_ligo(const GeneratorConfig& config) {
+  detail::require_minimum(config, WorkflowKind::ligo);
+  detail::WorkflowAssembler a(config, "Ligo");
+
+  const std::size_t n = config.task_count;
+  std::size_t groups = std::max<std::size_t>(1, n / kGroupSize);
+
+  // Pairs of (TmpltBank, Inspiral) / (TrigBank, Inspiral2) per group.
+  std::vector<std::size_t> bank_pairs(groups, kBankFanout);
+  std::vector<std::size_t> trig_pairs(groups, kTrigFanout);
+  if (n < kGroupSize) {
+    // One shrunken group: 2b + 2t + 2 as close to n as parity allows.
+    bank_pairs.assign(1, std::max<std::size_t>(1, (n - 2) / 4));
+    trig_pairs.assign(1, std::max<std::size_t>(1, (n - 2) / 2 - bank_pairs[0]));
+  }
+  auto total = [&] {
+    std::size_t t = 0;
+    for (std::size_t g = 0; g < groups; ++g) t += 2 * bank_pairs[g] + 2 * trig_pairs[g] + 2;
+    return t;
+  };
+  // Absorb the remainder two tasks at a time by widening groups round-robin.
+  for (std::size_t g = 0; total() + 1 < n; g = (g + 1) % groups) ++trig_pairs[g];
+  const bool lone_bank = total() < n;  // odd remainder -> one extra template bank
+
+  VertexId first_thinca = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<VertexId> inspirals;
+    for (std::size_t i = 0; i < bank_pairs[g]; ++i) {
+      const VertexId bank = a.add("TmpltBank", 70.0);
+      const VertexId inspiral = a.add("Inspiral", 500.0);
+      a.edge(bank, inspiral);
+      inspirals.push_back(inspiral);
+    }
+    const VertexId thinca = a.add("Thinca", 12.0);
+    if (g == 0) first_thinca = thinca;
+    for (const VertexId i : inspirals) a.edge(i, thinca);
+
+    std::vector<VertexId> inspirals2;
+    for (std::size_t i = 0; i < trig_pairs[g]; ++i) {
+      const VertexId trig = a.add("TrigBank", 15.0);
+      const VertexId inspiral2 = a.add("Inspiral2", 400.0);
+      a.edge(thinca, trig);
+      a.edge(trig, inspiral2);
+      inspirals2.push_back(inspiral2);
+    }
+    const VertexId thinca2 = a.add("Thinca2", 12.0);
+    for (const VertexId i : inspirals2) a.edge(i, thinca2);
+  }
+  if (lone_bank) {
+    const VertexId bank = a.add("TmpltBank", 70.0);
+    a.edge(bank, first_thinca);
+  }
+
+  return a.finish();
+}
+
+}  // namespace fpsched

@@ -1,0 +1,77 @@
+// Synthetic NASA/IPAC Montage workflow (sky mosaic stitching).
+//
+// Shape (Bharathi et al. 2008): m input images are reprojected in parallel
+// (mProjectPP), overlapping pairs are difference-fitted (mDiffFit), all fits
+// are concatenated (mConcatFit) and turned into a background model
+// (mBgModel); each image is then background-corrected (mBackground, needs
+// the model and the reprojection), the corrected tiles are tabled
+// (mImgtbl), co-added (mAdd), shrunk and rendered (mShrink, mJPEG).
+// Average task weight in the paper: ~10 s.
+#include <algorithm>
+
+#include "workflows/generator.hpp"
+#include "workflows/workflow_detail.hpp"
+
+namespace fpsched {
+
+TaskGraph generate_montage(const GeneratorConfig& config) {
+  detail::require_minimum(config, WorkflowKind::montage);
+  detail::WorkflowAssembler a(config, "Montage");
+
+  const std::size_t n = config.task_count;
+  // n = m (project) + d (diff) + m (background) + 6 singles, d >= m-1.
+  std::size_t m = std::max<std::size_t>(2, (n - 6) / 4);
+  while (n - 6 - 2 * m < m - 1) --m;  // keep enough diffs to chain projections
+  const std::size_t d = n - 6 - 2 * m;
+
+  std::vector<VertexId> projects;
+  projects.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) projects.push_back(a.add("mProjectPP", 14.0));
+
+  std::vector<VertexId> diffs;
+  diffs.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const VertexId diff = a.add("mDiffFit", 9.0);
+    diffs.push_back(diff);
+    if (j < m - 1) {
+      // Consecutive overlaps keep every projection covered.
+      a.edge(projects[j], diff);
+      a.edge(projects[j + 1], diff);
+    } else {
+      // Extra overlaps between random distinct image pairs.
+      const std::size_t u = static_cast<std::size_t>(a.rng().uniform_index(m));
+      std::size_t v = static_cast<std::size_t>(a.rng().uniform_index(m - 1));
+      if (v >= u) ++v;
+      a.edge(projects[u], diff);
+      a.edge(projects[v], diff);
+    }
+  }
+
+  const VertexId concat = a.add("mConcatFit", 45.0);
+  for (const VertexId diff : diffs) a.edge(diff, concat);
+
+  const VertexId bg_model = a.add("mBgModel", 30.0);
+  a.edge(concat, bg_model);
+
+  std::vector<VertexId> backgrounds;
+  backgrounds.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const VertexId bg = a.add("mBackground", 10.0);
+    backgrounds.push_back(bg);
+    a.edge(bg_model, bg);
+    a.edge(projects[i], bg);
+  }
+
+  const VertexId imgtbl = a.add("mImgtbl", 12.0);
+  for (const VertexId bg : backgrounds) a.edge(bg, imgtbl);
+  const VertexId add = a.add("mAdd", 35.0);
+  a.edge(imgtbl, add);
+  const VertexId shrink = a.add("mShrink", 15.0);
+  a.edge(add, shrink);
+  const VertexId jpeg = a.add("mJPEG", 4.0);
+  a.edge(shrink, jpeg);
+
+  return a.finish();
+}
+
+}  // namespace fpsched

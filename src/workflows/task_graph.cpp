@@ -1,0 +1,73 @@
+#include "workflows/task_graph.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace fpsched {
+
+std::string CostModel::describe() const {
+  switch (kind) {
+    case Kind::proportional: return "c_i = r_i = " + format_double(parameter, 3) + " * w_i";
+    case Kind::constant: return "c_i = r_i = " + format_double(parameter, 3) + " s";
+  }
+  return "?";
+}
+
+namespace {
+void validate_task(const Task& task, std::size_t index) {
+  const bool ok = std::isfinite(task.weight) && task.weight >= 0.0 &&
+                  std::isfinite(task.ckpt_cost) && task.ckpt_cost >= 0.0 &&
+                  std::isfinite(task.recovery_cost) && task.recovery_cost >= 0.0;
+  ensure(ok, "task " + std::to_string(index) + " has negative or non-finite costs");
+}
+}  // namespace
+
+TaskGraph::TaskGraph(Dag dag, std::vector<Task> tasks)
+    : dag_(std::move(dag)), tasks_(std::move(tasks)) {
+  ensure(dag_.vertex_count() == tasks_.size(), "task list size must match DAG vertex count");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) validate_task(tasks_[i], i);
+}
+
+std::vector<double> TaskGraph::weights() const {
+  std::vector<double> out(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) out[i] = tasks_[i].weight;
+  return out;
+}
+
+double TaskGraph::total_weight() const {
+  double total = 0.0;
+  for (const auto& task : tasks_) total += task.weight;
+  return total;
+}
+
+double TaskGraph::average_weight() const {
+  return tasks_.empty() ? 0.0 : total_weight() / static_cast<double>(tasks_.size());
+}
+
+void TaskGraph::apply_cost_model(const CostModel& model) {
+  for (auto& task : tasks_) {
+    const double cost = model.kind == CostModel::Kind::proportional
+                            ? model.parameter * task.weight
+                            : model.parameter;
+    ensure(std::isfinite(cost) && cost >= 0.0, "cost model produced an invalid cost");
+    task.ckpt_cost = cost;
+    task.recovery_cost = cost;
+  }
+}
+
+void TaskGraph::set_costs(VertexId v, double ckpt_cost, double recovery_cost) {
+  ensure(v < tasks_.size(), "set_costs: vertex out of range");
+  tasks_[v].ckpt_cost = ckpt_cost;
+  tasks_[v].recovery_cost = recovery_cost;
+  validate_task(tasks_[v], v);
+}
+
+void TaskGraph::set_weight(VertexId v, double weight) {
+  ensure(v < tasks_.size(), "set_weight: vertex out of range");
+  tasks_[v].weight = weight;
+  validate_task(tasks_[v], v);
+}
+
+}  // namespace fpsched

@@ -1,0 +1,78 @@
+// TaskGraph: a DAG whose vertices carry the paper's per-task costs.
+//
+// Task T_i has a fault-free weight w_i (seconds on the full platform), a
+// checkpoint cost c_i (time to save its output), and a recovery cost r_i
+// (time to reload a saved output). The experiments of Section 6 derive
+// c_i from w_i (proportional or constant) and always set r_i = c_i.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace fpsched {
+
+struct Task {
+  std::string name;
+  /// Task type tag (generator specific; e.g. "mProjectPP"). Used for
+  /// reporting and generator tests.
+  std::string type;
+  double weight = 0.0;         // w_i, fault-free execution time
+  double ckpt_cost = 0.0;      // c_i
+  double recovery_cost = 0.0;  // r_i
+};
+
+/// How checkpoint/recovery costs are derived from weights.
+struct CostModel {
+  enum class Kind { proportional, constant } kind = Kind::proportional;
+  /// `proportional`: c_i = r_i = factor * w_i. `constant`: c_i = r_i = value.
+  double parameter = 0.1;
+
+  static CostModel proportional(double factor) { return {Kind::proportional, factor}; }
+  static CostModel constant(double value) { return {Kind::constant, value}; }
+
+  std::string describe() const;
+};
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  /// Takes ownership of a frozen DAG and its per-vertex tasks; sizes must
+  /// match and all costs must be non-negative and finite.
+  TaskGraph(Dag dag, std::vector<Task> tasks);
+
+  const Dag& dag() const { return dag_; }
+  std::size_t task_count() const { return tasks_.size(); }
+
+  const Task& task(VertexId v) const { return tasks_[v]; }
+  double weight(VertexId v) const { return tasks_[v].weight; }
+  double ckpt_cost(VertexId v) const { return tasks_[v].ckpt_cost; }
+  double recovery_cost(VertexId v) const { return tasks_[v].recovery_cost; }
+  const std::string& name(VertexId v) const { return tasks_[v].name; }
+  const std::string& type(VertexId v) const { return tasks_[v].type; }
+
+  /// All weights as a dense vector (indexed by vertex id).
+  std::vector<double> weights() const;
+
+  /// T_inf of the paper: the failure-free, checkpoint-free execution time,
+  /// i.e. the sum of all weights (tasks are serialized on the platform).
+  double total_weight() const;
+
+  double average_weight() const;
+
+  /// Re-derives every c_i/r_i from the cost model (r_i = c_i, as in all of
+  /// the paper's experiments).
+  void apply_cost_model(const CostModel& model);
+
+  /// Sets c_i and r_i for one task (used by theory gadgets where r != c).
+  void set_costs(VertexId v, double ckpt_cost, double recovery_cost);
+  void set_weight(VertexId v, double weight);
+
+ private:
+  Dag dag_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace fpsched

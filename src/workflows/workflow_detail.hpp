@@ -1,0 +1,64 @@
+// Internal helper shared by the workflow generators (not installed API).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched::detail {
+
+/// Accumulates vertices with typed, gamma-distributed weights and freezes
+/// into a TaskGraph with the configured cost model applied.
+class WorkflowAssembler {
+ public:
+  WorkflowAssembler(const GeneratorConfig& config, std::string workflow_name)
+      : config_(config), rng_(config.seed), name_(std::move(workflow_name)) {}
+
+  /// Adds a task of `type` with weight drawn around `mean_weight`.
+  VertexId add(const std::string& type, double mean_weight) {
+    const VertexId id = builder_.add_vertex();
+    Task task;
+    task.type = type;
+    task.name = type + "_" + std::to_string(id);
+    task.weight = config_.weight_cv == 0.0 ? mean_weight
+                                           : rng_.gamma_mean_cv(mean_weight, config_.weight_cv);
+    tasks_.push_back(std::move(task));
+    return id;
+  }
+
+  void edge(VertexId from, VertexId to) { builder_.add_edge(from, to); }
+
+  Rng& rng() { return rng_; }
+
+  std::size_t task_count() const { return tasks_.size(); }
+
+  TaskGraph finish() {
+    ensure(tasks_.size() == config_.task_count,
+           name_ + " generator produced " + std::to_string(tasks_.size()) + " tasks, expected " +
+               std::to_string(config_.task_count));
+    TaskGraph graph(std::move(builder_).build(), std::move(tasks_));
+    graph.apply_cost_model(config_.cost_model);
+    return graph;
+  }
+
+ private:
+  GeneratorConfig config_;
+  DagBuilder builder_;
+  std::vector<Task> tasks_;
+  Rng rng_;
+  std::string name_;
+};
+
+inline void require_minimum(const GeneratorConfig& config, WorkflowKind kind) {
+  ensure(config.task_count >= minimum_task_count(kind),
+         to_string(kind) + " needs at least " + std::to_string(minimum_task_count(kind)) +
+             " tasks, got " + std::to_string(config.task_count));
+}
+
+}  // namespace fpsched::detail

@@ -1,0 +1,71 @@
+// Tests for the terminal chart renderer.
+#include "support/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(AsciiChart, EmptyChartPrintsNothing) {
+  AsciiChart chart("empty");
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiChart, RendersTitleLegendAndFrame) {
+  AsciiChart chart("my figure", 40, 10);
+  chart.set_x_label("n");
+  chart.set_y_label("ratio");
+  chart.add_series({"DF-CkptW", {1, 2, 3}, {1.0, 1.2, 1.5}});
+  chart.add_series({"DF-CkptC", {1, 2, 3}, {1.1, 1.15, 1.3}});
+  std::ostringstream os;
+  chart.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("my figure"), std::string::npos);
+  EXPECT_NE(out.find("DF-CkptW"), std::string::npos);
+  EXPECT_NE(out.find("DF-CkptC"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("x: n"), std::string::npos);
+  EXPECT_NE(out.find("y: ratio"), std::string::npos);
+  // Distinct glyphs for distinct series.
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, SkipsNonFinitePoints) {
+  AsciiChart chart("with-nans", 30, 8);
+  chart.add_series({"s", {1, 2, 3}, {1.0, std::numeric_limits<double>::quiet_NaN(), 2.0}});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiChart, AllNonFinitePrintsNothing) {
+  AsciiChart chart("all-nan", 30, 8);
+  chart.add_series({"s", {1.0}, {std::numeric_limits<double>::infinity()}});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart("flat", 30, 8);
+  chart.add_series({"s", {1, 2, 3}, {5.0, 5.0, 5.0}});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiChart, MismatchedSeriesSizesRejected) {
+  AsciiChart chart("bad", 30, 8);
+  EXPECT_THROW(chart.add_series({"s", {1, 2}, {1.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

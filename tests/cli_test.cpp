@@ -1,0 +1,89 @@
+// Tests for the command line parser used by benches and examples.
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test tool");
+  parser.add_option("tasks", "100", "number of tasks");
+  parser.add_option("lambda", "0.001", "failure rate");
+  parser.add_option("sizes", "50,100,200", "task counts");
+  parser.add_flag("full", "run the full grid");
+  return parser;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("tasks"), 100);
+  EXPECT_DOUBLE_EQ(parser.get_double("lambda"), 0.001);
+  EXPECT_FALSE(parser.get_flag("full"));
+  EXPECT_EQ(parser.get_int_list("sizes"), (std::vector<std::int64_t>{50, 100, 200}));
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--tasks", "250", "--lambda=0.01", "--full"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("tasks"), 250);
+  EXPECT_DOUBLE_EQ(parser.get_double("lambda"), 0.01);
+  EXPECT_TRUE(parser.get_flag("full"));
+}
+
+TEST(Cli, ListParsing) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--sizes", "1,2,3,4"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int_list("sizes"), (std::vector<std::int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(parser.get_double_list("lambda"), std::vector<double>{0.001});
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.help_text().find("--tasks"), std::string::npos);
+  EXPECT_NE(parser.help_text().find("default: 100"), std::string::npos);
+}
+
+TEST(Cli, Errors) {
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--unknown", "1"};
+    EXPECT_THROW(parser.parse(3, argv), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--tasks"};
+    EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "positional"};
+    EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--full=yes"};
+    EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--tasks", "abc"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_THROW(parser.get_int("tasks"), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    EXPECT_THROW(parser.add_option("tasks", "1", "dup"), InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace fpsched

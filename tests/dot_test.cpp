@@ -1,0 +1,61 @@
+// Tests for DOT export.
+#include "dag/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(Dot, EmitsNodesAndEdges) {
+  const TaskGraph graph = make_paper_figure1(1.0);
+  std::ostringstream os;
+  write_dot(os, graph.dag());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph workflow"), std::string::npos);
+  for (int v = 0; v < 8; ++v)
+    EXPECT_NE(out.find("n" + std::to_string(v) + " [label=\"T" + std::to_string(v)),
+              std::string::npos);
+  EXPECT_NE(out.find("n0 -> n3;"), std::string::npos);
+  EXPECT_NE(out.find("n2 -> n7;"), std::string::npos);
+  EXPECT_EQ(out.find("n3 -> n0;"), std::string::npos);
+}
+
+TEST(Dot, MarksCheckpointedVertices) {
+  const TaskGraph graph = make_paper_figure1(1.0);
+  const std::vector<std::uint8_t> ckpt{0, 0, 0, 1, 1, 0, 0, 0};
+  std::ostringstream os;
+  DotOptions options;
+  options.graph_name = "fig1";
+  options.checkpointed = ckpt;
+  write_dot(os, graph.dag(), options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph fig1"), std::string::npos);
+  // Exactly two filled nodes (T3 and T4, the paper's example).
+  std::size_t filled = 0;
+  for (std::size_t at = out.find("style=filled"); at != std::string::npos;
+       at = out.find("style=filled", at + 1))
+    ++filled;
+  EXPECT_EQ(filled, 2u);
+}
+
+TEST(Dot, UsesProvidedNamesAndAnnotations) {
+  const TaskGraph graph = make_chain(std::vector<double>{1.0, 2.0});
+  const std::vector<std::string> names{"first", "second"};
+  const std::vector<std::string> annotations{"w=1", ""};
+  std::ostringstream os;
+  DotOptions options;
+  options.names = names;
+  options.annotations = annotations;
+  write_dot(os, graph.dag(), options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+  EXPECT_NE(out.find("w=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,147 @@
+// Differential tests: the optimized evaluator must agree exactly (up to
+// floating-point noise) with the literal Algorithm-1 transcription on
+// randomized DAGs, schedules, and checkpoint patterns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/evaluator.hpp"
+#include "core/evaluator_naive.hpp"
+#include "dag/linearize.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::assert_rel_near;
+
+Schedule random_schedule(const TaskGraph& graph, Rng& rng, double ckpt_probability) {
+  const std::vector<double> weights = graph.weights();
+  Schedule schedule = make_schedule(
+      linearize(graph.dag(), weights, LinearizeMethod::random_first, {.seed = rng()}));
+  for (VertexId v = 0; v < graph.task_count(); ++v)
+    schedule.checkpointed[v] = rng.bernoulli(ckpt_probability) ? 1 : 0;
+  return schedule;
+}
+
+void expect_evaluators_agree(const TaskGraph& graph, const FailureModel& model,
+                             const Schedule& schedule) {
+  const double fast = ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+  const double reference = evaluate_reference(graph, model, schedule);
+  assert_rel_near(reference, fast, 1e-9, "optimized vs Algorithm 1");
+}
+
+TEST(EvaluatorReference, PaperFigure1Example) {
+  TaskGraph graph = make_paper_figure1(10.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7}, {0, 0, 0, 1, 1, 0, 0, 0});
+  expect_evaluators_agree(graph, FailureModel(0.01, 0.0), schedule);
+  expect_evaluators_agree(graph, FailureModel(0.001, 5.0), schedule);
+}
+
+TEST(EvaluatorReference, LostWorkTableMatchesPaperExample) {
+  // Linearization T0 T3 T1 T2 T4 T5 T6 T7 with T3, T4 checkpointed
+  // (positions: T0=0, T3=1, T1=2, T2=3, T4=4, T5=5, T6=6, T7=7).
+  TaskGraph graph = make_paper_figure1(10.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7}, {0, 0, 0, 1, 1, 0, 0, 0});
+
+  // Failure during X_5 (T5, position 5): T5 recovers T3's checkpoint only.
+  const LostWorkTable at5 = find_lost_work_reference(graph, schedule, 5);
+  EXPECT_DOUBLE_EQ(at5.reexecuted_weight[5], 0.0);
+  EXPECT_DOUBLE_EQ(at5.recovered_cost[5], graph.recovery_cost(3));
+  // Next, T6 (position 6) recovers T4's checkpoint; T5 is in memory.
+  EXPECT_DOUBLE_EQ(at5.reexecuted_weight[6], 0.0);
+  EXPECT_DOUBLE_EQ(at5.recovered_cost[6], graph.recovery_cost(4));
+  // T7 (position 7) needs T2, which needs T1: both re-executed, as in the
+  // paper's walk-through.
+  EXPECT_DOUBLE_EQ(at5.reexecuted_weight[7], graph.weight(1) + graph.weight(2));
+  EXPECT_DOUBLE_EQ(at5.recovered_cost[7], 0.0);
+}
+
+TEST(EvaluatorReference, ChainsForksJoins) {
+  Rng rng(99);
+  const FailureModel model(0.02, 1.0);
+  {
+    TaskGraph graph = make_uniform_chain(9, 7.0);
+    graph.apply_cost_model(CostModel::constant(1.0));
+    for (int rep = 0; rep < 5; ++rep)
+      expect_evaluators_agree(graph, model, random_schedule(graph, rng, 0.4));
+  }
+  {
+    TaskGraph graph = make_fork(20.0, std::vector<double>{3.0, 8.0, 15.0, 2.0, 9.0});
+    graph.apply_cost_model(CostModel::proportional(0.2));
+    for (int rep = 0; rep < 5; ++rep)
+      expect_evaluators_agree(graph, model, random_schedule(graph, rng, 0.4));
+  }
+  {
+    TaskGraph graph = make_join(std::vector<double>{3.0, 8.0, 15.0, 2.0, 9.0}, 12.0);
+    graph.apply_cost_model(CostModel::proportional(0.2));
+    for (int rep = 0; rep < 5; ++rep)
+      expect_evaluators_agree(graph, model, random_schedule(graph, rng, 0.4));
+  }
+}
+
+// Randomized sweep: layered DAGs of several shapes x failure rates x
+// checkpoint densities.
+struct DifferentialCase {
+  std::uint64_t seed;
+  std::size_t tasks;
+  std::size_t layers;
+  double lambda;
+  double downtime;
+  double ckpt_probability;
+};
+
+class EvaluatorDifferential : public ::testing::TestWithParam<DifferentialCase> {};
+
+TEST_P(EvaluatorDifferential, OptimizedMatchesAlgorithmOne) {
+  const DifferentialCase& param = GetParam();
+  TaskGraph graph = make_layered_random({.task_count = param.tasks,
+                                         .layer_count = param.layers,
+                                         .edge_probability = 0.35,
+                                         .mean_weight = 15.0,
+                                         .weight_cv = 0.6,
+                                         .seed = param.seed});
+  graph.apply_cost_model(CostModel::proportional(0.15));
+  const FailureModel model(param.lambda, param.downtime);
+  Rng rng(param.seed ^ 0xabcdef);
+  for (int rep = 0; rep < 3; ++rep) {
+    expect_evaluators_agree(graph, model, random_schedule(graph, rng, param.ckpt_probability));
+  }
+}
+
+std::vector<DifferentialCase> differential_cases() {
+  std::vector<DifferentialCase> cases;
+  std::uint64_t seed = 1;
+  for (const std::size_t tasks : {6, 12, 25, 40}) {
+    for (const double lambda : {1e-3, 1e-2}) {
+      for (const double ckpt_probability : {0.0, 0.3, 0.8}) {
+        cases.push_back({seed++, tasks, std::max<std::size_t>(2, tasks / 6), lambda,
+                         (seed % 2) ? 0.0 : 2.0, ckpt_probability});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, EvaluatorDifferential,
+                         ::testing::ValuesIn(differential_cases()));
+
+TEST(EvaluatorReference, PegasusWorkflowsSmall) {
+  // One real workflow of each family, moderate size.
+  Rng rng(2024);
+  for (const WorkflowKind kind : all_workflow_kinds()) {
+    const TaskGraph graph = generate_workflow(
+        kind, {.task_count = 50, .seed = 5, .weight_cv = 0.3,
+               .cost_model = CostModel::proportional(0.1)});
+    const FailureModel model(kind == WorkflowKind::genome ? 1e-5 : 1e-3, 0.0);
+    expect_evaluators_agree(graph, model, random_schedule(graph, rng, 0.25));
+  }
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,307 @@
+// Tests of the optimized Theorem-3 evaluator against closed forms and
+// model identities.
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/failure_model.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::assert_rel_near;
+using testing::expect_rel_near;
+using testing::topo_schedule;
+using testing::topo_schedule_with_ckpts;
+
+TEST(Evaluator, SingleTaskNoCheckpointMatchesEquationOne) {
+  const TaskGraph graph = make_uniform_chain(1, 42.0);
+  const FailureModel model(0.01, 3.0);
+  const ScheduleEvaluator evaluator(graph, model);
+  const Evaluation eval = evaluator.evaluate(topo_schedule(graph));
+  expect_rel_near(model.expected_time(42.0, 0.0, 0.0), eval.expected_makespan, 1e-12);
+  EXPECT_DOUBLE_EQ(eval.total_weight, 42.0);
+  EXPECT_EQ(eval.checkpoint_count, 0u);
+}
+
+TEST(Evaluator, SingleTaskWithCheckpoint) {
+  TaskGraph graph = make_uniform_chain(1, 42.0);
+  graph.set_costs(0, 5.0, 4.0);
+  const FailureModel model(0.01, 0.0);
+  const ScheduleEvaluator evaluator(graph, model);
+  const Evaluation eval = evaluator.evaluate(topo_schedule_with_ckpts(graph, {0}));
+  expect_rel_near(model.expected_time(42.0, 5.0, 0.0), eval.expected_makespan, 1e-12);
+  EXPECT_DOUBLE_EQ(eval.fault_free_time, 47.0);
+}
+
+TEST(Evaluator, UncheckpointedChainEqualsOneAtomicSegment) {
+  // Memorylessness: per-task accounting of a checkpoint-free chain equals
+  // the single-segment expectation E[t(sum w; 0; 0)] — the identity the
+  // join/chain closed forms rely on.
+  const std::vector<double> weights{13.0, 7.5, 21.0, 2.0, 40.0};
+  const TaskGraph graph = make_chain(weights);
+  for (const double lambda : {1e-4, 1e-3, 1e-2}) {
+    for (const double downtime : {0.0, 12.0}) {
+      const FailureModel model(lambda, downtime);
+      const ScheduleEvaluator evaluator(graph, model);
+      const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+      expect_rel_near(model.expected_time(total, 0.0, 0.0),
+                      evaluator.evaluate(topo_schedule(graph)).expected_makespan, 1e-9);
+    }
+  }
+}
+
+TEST(Evaluator, FullyCheckpointedChainIsAProductOfSegments) {
+  const std::vector<double> weights{13.0, 7.5, 21.0, 2.0, 40.0};
+  TaskGraph graph = make_chain(weights);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const FailureModel model(0.004, 1.0);
+  const ScheduleEvaluator evaluator(graph, model);
+
+  Schedule schedule = topo_schedule(graph);
+  for (VertexId v = 0; v < graph.task_count(); ++v) schedule.checkpointed[v] = 1;
+
+  double expected = model.expected_time(weights[0], graph.ckpt_cost(0), 0.0);
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    expected += model.expected_time(weights[i], graph.ckpt_cost(static_cast<VertexId>(i)),
+                                    graph.recovery_cost(static_cast<VertexId>(i - 1)));
+  }
+  expect_rel_near(expected, evaluator.evaluate(schedule).expected_makespan, 1e-9);
+}
+
+TEST(Evaluator, PartiallyCheckpointedChainMatchesSegmentForm) {
+  // Checkpoints at positions 1 and 3 of a 6-chain: three segments.
+  const std::vector<double> w{5.0, 9.0, 14.0, 3.0, 8.0, 11.0};
+  TaskGraph graph = make_chain(w);
+  for (VertexId v = 0; v < graph.task_count(); ++v) graph.set_costs(v, 2.0, 1.5);
+  const FailureModel model(0.01, 0.5);
+  const ScheduleEvaluator evaluator(graph, model);
+  const Schedule schedule = topo_schedule_with_ckpts(graph, {1, 3});
+
+  const double expected = model.expected_time(w[0] + w[1], 2.0, 0.0) +
+                          model.expected_time(w[2] + w[3], 2.0, 1.5) +
+                          model.expected_time(w[4] + w[5], 0.0, 1.5);
+  expect_rel_near(expected, evaluator.evaluate(schedule).expected_makespan, 1e-9);
+}
+
+TEST(Evaluator, ForkWithCheckpointedSourceMatchesTheoremOneFormula) {
+  const std::vector<double> sinks{11.0, 17.0, 23.0, 4.0};
+  TaskGraph graph = make_fork(31.0, sinks);
+  graph.set_costs(0, 6.0, 2.5);
+  const FailureModel model(0.008, 2.0);
+  const ScheduleEvaluator evaluator(graph, model);
+  const Schedule schedule = topo_schedule_with_ckpts(graph, {0});
+
+  double expected = model.expected_time(31.0, 6.0, 0.0);
+  for (const double w : sinks) expected += model.expected_time(w, 0.0, 2.5);
+  expect_rel_near(expected, evaluator.evaluate(schedule).expected_makespan, 1e-9);
+}
+
+TEST(Evaluator, ForkWithoutCheckpointMatchesTheoremOneFormula) {
+  const std::vector<double> sinks{11.0, 17.0, 23.0, 4.0};
+  const TaskGraph graph = make_fork(31.0, sinks);
+  const FailureModel model(0.008, 2.0);
+  const ScheduleEvaluator evaluator(graph, model);
+
+  double expected = model.expected_time(31.0, 0.0, 0.0);
+  for (const double w : sinks) expected += model.expected_time(w, 0.0, 31.0);
+  expect_rel_near(expected, evaluator.evaluate(topo_schedule(graph)).expected_makespan, 1e-9);
+}
+
+TEST(Evaluator, ForkSinkOrderIsIrrelevant) {
+  TaskGraph graph = make_fork(31.0, std::vector<double>{11.0, 17.0, 23.0, 4.0});
+  graph.set_costs(0, 6.0, 2.5);
+  const FailureModel model(0.01, 0.0);
+  const ScheduleEvaluator evaluator(graph, model);
+
+  const Schedule a({0, 1, 2, 3, 4}, {1, 0, 0, 0, 0});
+  const Schedule b({0, 4, 2, 1, 3}, {1, 0, 0, 0, 0});
+  expect_rel_near(evaluator.evaluate(a).expected_makespan, evaluator.evaluate(b).expected_makespan,
+                  1e-12);
+}
+
+TEST(Evaluator, NoFailuresReducesToFaultFreeTime) {
+  TaskGraph graph = make_fork_join(3, 4, 10.0);
+  graph.apply_cost_model(CostModel::constant(2.0));
+  const ScheduleEvaluator evaluator(graph, FailureModel(0.0, 100.0));
+  Schedule schedule = topo_schedule(graph);
+  schedule.checkpointed[2] = 1;
+  schedule.checkpointed[5] = 1;
+  const Evaluation eval = evaluator.evaluate(schedule);
+  EXPECT_DOUBLE_EQ(eval.expected_makespan, graph.total_weight() + 4.0);
+  EXPECT_DOUBLE_EQ(eval.expected_makespan, eval.fault_free_time);
+}
+
+TEST(Evaluator, ExpectedMakespanNeverBelowFaultFreeTime) {
+  TaskGraph graph = make_layered_random({});
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const ScheduleEvaluator evaluator(graph, FailureModel(0.002, 1.0));
+  Schedule schedule = topo_schedule(graph);
+  for (VertexId v = 0; v < graph.task_count(); v += 3) schedule.checkpointed[v] = 1;
+  const Evaluation eval = evaluator.evaluate(schedule);
+  EXPECT_GE(eval.expected_makespan, eval.fault_free_time);
+  EXPECT_GE(eval.ratio, 1.0);
+}
+
+TEST(Evaluator, MonotoneInFailureRate) {
+  TaskGraph graph = make_fork_join(2, 3, 25.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  Schedule schedule = topo_schedule(graph);
+  schedule.checkpointed[1] = 1;
+  double previous = 0.0;
+  for (const double lambda : {1e-5, 1e-4, 1e-3, 1e-2}) {
+    const double value =
+        ScheduleEvaluator(graph, FailureModel(lambda, 0.0)).evaluate(schedule).expected_makespan;
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(Evaluator, PerTaskBreakdownSumsToMakespan) {
+  TaskGraph graph = make_paper_figure1(10.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const ScheduleEvaluator evaluator(graph, FailureModel(0.003, 0.0));
+  // The paper's linearization T0 T3 T1 T2 T4 T5 T6 T7, checkpoints on T3, T4.
+  const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7},
+                          {0, 0, 0, 1, 1, 0, 0, 0});
+  const Evaluation eval = evaluator.evaluate(schedule);
+  ASSERT_EQ(eval.per_task_expected.size(), graph.task_count());
+  double sum = 0.0;
+  for (const double x : eval.per_task_expected) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  expect_rel_near(eval.expected_makespan, sum, 1e-12);
+  EXPECT_EQ(eval.checkpoint_count, 2u);
+}
+
+TEST(Evaluator, PaperFigure1RecoverySemantics) {
+  // With T3 and T4 checkpointed, a failure while running T5 must not force
+  // re-running T0 (T3's checkpoint shields it); the lost-work set of T7
+  // after a late failure contains T1 and T2 (nothing on that path is
+  // checkpointed). We check the consequences numerically: making T3's
+  // recovery free lowers the makespan, and checkpointing T2 lowers the
+  // re-execution exposure of T7.
+  TaskGraph graph = make_paper_figure1(10.0);
+  graph.apply_cost_model(CostModel::proportional(0.3));
+  const FailureModel model(0.01, 0.0);
+  const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7}, {0, 0, 0, 1, 1, 0, 0, 0});
+  const double base =
+      ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+
+  TaskGraph cheap_recovery = graph;
+  cheap_recovery.set_costs(3, graph.ckpt_cost(3), 0.0);
+  EXPECT_LT(ScheduleEvaluator(cheap_recovery, model).evaluate(schedule).expected_makespan, base);
+
+  TaskGraph free_ckpt_t2 = graph;
+  free_ckpt_t2.set_costs(2, 0.0, 0.0);
+  Schedule with_t2 = schedule;
+  with_t2.checkpointed[2] = 1;
+  EXPECT_LT(ScheduleEvaluator(free_ckpt_t2, model).evaluate(with_t2).expected_makespan, base);
+}
+
+TEST(Evaluator, FreeCheckpointNeverHurts) {
+  // A checkpoint with c = r = 0 can only shrink lost-work sets.
+  TaskGraph graph = make_layered_random({.task_count = 24, .layer_count = 4, .seed = 11});
+  const FailureModel model(0.01, 0.0);
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    TaskGraph modified = graph;
+    modified.set_costs(v, 0.0, 0.0);
+    const ScheduleEvaluator evaluator(modified, model);
+    Schedule without = topo_schedule(modified);
+    Schedule with = without;
+    with.checkpointed[v] = 1;
+    EXPECT_LE(evaluator.evaluate(with).expected_makespan,
+              evaluator.evaluate(without).expected_makespan * (1.0 + 1e-12))
+        << "vertex " << v;
+  }
+}
+
+TEST(Evaluator, RelabelingVerticesDoesNotChangeTheValue) {
+  // Same logical workflow, ids permuted: the evaluation must be identical.
+  const std::vector<double> w{5.0, 9.0, 14.0, 3.0};
+  TaskGraph chain = make_chain(w);
+  chain.apply_cost_model(CostModel::constant(1.0));
+  const FailureModel model(0.02, 0.0);
+  const double reference = ScheduleEvaluator(chain, model)
+                               .evaluate(topo_schedule_with_ckpts(chain, {1}))
+                               .expected_makespan;
+
+  // Rebuild the chain with reversed ids: 3 -> 2 -> 1 -> 0.
+  DagBuilder builder;
+  builder.add_vertices(4);
+  builder.add_edge(3, 2);
+  builder.add_edge(2, 1);
+  builder.add_edge(1, 0);
+  std::vector<Task> tasks(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    tasks[3 - i].weight = w[i];
+    tasks[3 - i].ckpt_cost = 1.0;
+    tasks[3 - i].recovery_cost = 1.0;
+  }
+  const TaskGraph relabeled(std::move(builder).build(), std::move(tasks));
+  Schedule schedule({3, 2, 1, 0}, {0, 0, 1, 0});  // checkpoint the 2nd task
+  expect_rel_near(reference,
+                  ScheduleEvaluator(relabeled, model).evaluate(schedule).expected_makespan, 1e-12);
+}
+
+TEST(Evaluator, WorkspaceReuseIsIdempotent) {
+  TaskGraph graph = make_layered_random({.task_count = 30, .seed = 3});
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const ScheduleEvaluator evaluator(graph, FailureModel(0.005, 1.0));
+  EvaluatorWorkspace ws;
+  Schedule a = topo_schedule(graph);
+  Schedule b = a;
+  for (VertexId v = 0; v < graph.task_count(); v += 2) b.checkpointed[v] = 1;
+  const double a1 = evaluator.expected_makespan(a, ws);
+  const double b1 = evaluator.expected_makespan(b, ws);
+  const double a2 = evaluator.expected_makespan(a, ws);
+  const double b2 = evaluator.expected_makespan(b, ws);
+  EXPECT_DOUBLE_EQ(a1, a2);
+  EXPECT_DOUBLE_EQ(b1, b2);
+  EXPECT_NE(a1, b1);
+}
+
+TEST(Evaluator, RejectsInvalidSchedules) {
+  const TaskGraph graph = make_uniform_chain(3, 1.0);
+  const ScheduleEvaluator evaluator(graph, FailureModel(0.01, 0.0));
+  EXPECT_THROW(evaluator.evaluate(Schedule({0, 2, 1}, {0, 0, 0})), ScheduleError);
+  EXPECT_THROW(evaluator.evaluate(Schedule({0, 1}, {0, 0})), ScheduleError);
+  EXPECT_THROW(evaluator.evaluate(Schedule({0, 1, 2}, {0, 0})), ScheduleError);
+  EXPECT_THROW(evaluator.evaluate(Schedule({0, 1, 1}, {0, 0, 0})), ScheduleError);
+}
+
+TEST(Evaluator, EmptyGraphHasZeroMakespan) {
+  const TaskGraph graph;
+  const ScheduleEvaluator evaluator(graph, FailureModel(0.01, 0.0));
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(Schedule()).expected_makespan, 0.0);
+}
+
+// Deferral identity on joins: executing independent sources one-by-one and
+// deferring lost re-executions to the sink gives the same expectation as
+// the atomic phase-2 accounting. Parameterized over lambda and downtime.
+class DeferralIdentity : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DeferralIdentity, JoinEqualsAtomicSegment) {
+  const auto [lambda, downtime] = GetParam();
+  const std::vector<double> sources{12.0, 5.0, 30.0, 8.0};
+  const TaskGraph graph = make_join(sources, 9.0);
+  const FailureModel model(lambda, downtime);
+  const ScheduleEvaluator evaluator(graph, model);
+  const double atomic = model.expected_time(
+      std::accumulate(sources.begin(), sources.end(), 0.0) + 9.0, 0.0, 0.0);
+  assert_rel_near(atomic, evaluator.evaluate(topo_schedule(graph)).expected_makespan, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DeferralIdentity,
+                         ::testing::Combine(::testing::Values(1e-4, 1e-3, 1e-2, 5e-2),
+                                            ::testing::Values(0.0, 1.0, 10.0)));
+
+}  // namespace
+}  // namespace fpsched

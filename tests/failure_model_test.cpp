@@ -1,0 +1,135 @@
+// Unit tests for the exponential failure model (Eq. (1) of the paper).
+#include "core/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::expect_rel_near;
+
+TEST(FailureModel, FailureFreeDegeneratesToPlainDurations) {
+  const FailureModel model(0.0, 0.0);
+  EXPECT_TRUE(model.failure_free());
+  EXPECT_DOUBLE_EQ(model.expected_time(10.0, 2.0, 5.0), 12.0);
+  EXPECT_DOUBLE_EQ(model.expected_time(0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.expected_lost_time(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.success_probability(1e9), 1.0);
+  EXPECT_TRUE(std::isinf(model.mtbf()));
+}
+
+TEST(FailureModel, MatchesHandComputedEquationOne) {
+  const double lambda = 0.01;
+  const double d = 3.0;
+  const FailureModel model(lambda, d);
+  const double w = 50.0;
+  const double c = 5.0;
+  const double r = 7.0;
+  const double expected =
+      std::exp(lambda * r) * (1.0 / lambda + d) * (std::exp(lambda * (w + c)) - 1.0);
+  expect_rel_near(expected, model.expected_time(w, c, r), 1e-12);
+}
+
+TEST(FailureModel, ZeroWorkZeroCheckpointTakesNoTime) {
+  const FailureModel model(0.001, 10.0);
+  EXPECT_DOUBLE_EQ(model.expected_time(0.0, 0.0, 42.0), 0.0);
+}
+
+TEST(FailureModel, SmallRatesApproachPlainDurations) {
+  // As lambda -> 0, E[t(w;c;r)] -> w + c; expm1 keeps this stable.
+  const FailureModel model(1e-15, 0.0);
+  expect_rel_near(35.0, model.expected_time(30.0, 5.0, 100.0), 1e-9);
+}
+
+TEST(FailureModel, MonotoneInEveryArgument) {
+  const FailureModel model(0.002, 1.0);
+  const double base = model.expected_time(100.0, 10.0, 5.0);
+  EXPECT_GT(model.expected_time(101.0, 10.0, 5.0), base);
+  EXPECT_GT(model.expected_time(100.0, 11.0, 5.0), base);
+  EXPECT_GT(model.expected_time(100.0, 10.0, 6.0), base);
+}
+
+TEST(FailureModel, MonotoneInFailureRate) {
+  double previous = 0.0;
+  for (const double lambda : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    const double value = FailureModel(lambda).expected_time(100.0, 10.0, 5.0);
+    EXPECT_GT(value, previous) << "lambda=" << lambda;
+    previous = value;
+  }
+}
+
+TEST(FailureModel, ExpectedTimeAlwaysExceedsFaultFreeTime) {
+  const FailureModel model(0.01, 2.0);
+  for (const double w : {1.0, 10.0, 100.0, 1000.0}) {
+    EXPECT_GT(model.expected_time(w, 0.0, 0.0), w);
+  }
+}
+
+TEST(FailureModel, DowntimeScalesTheWholeExpression) {
+  // (1/lambda + D) is a common factor: doubling it doubles the expectation.
+  const double lambda = 0.005;
+  const FailureModel d0(lambda, 0.0);
+  const FailureModel d1(lambda, 1.0 / lambda);  // doubles the factor
+  expect_rel_near(2.0 * d0.expected_time(40.0, 4.0, 3.0), d1.expected_time(40.0, 4.0, 3.0),
+                  1e-12);
+}
+
+TEST(FailureModel, LostTimeIsBoundedByAttemptAndMtbf) {
+  const FailureModel model(0.01, 0.0);
+  for (const double w : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const double lost = model.expected_lost_time(w);
+    EXPECT_GT(lost, 0.0);
+    EXPECT_LT(lost, w);             // a failure within [0, w)
+    EXPECT_LT(lost, model.mtbf());  // and below 1/lambda
+  }
+}
+
+TEST(FailureModel, LostTimeIdentityFromLemmaTwo) {
+  // p*A + (1-p) E[t_lost(A)] == (1-p)/lambda, the collapse used in the
+  // proof of Lemma 2.
+  const FailureModel model(0.003, 0.0);
+  for (const double attempt : {5.0, 50.0, 500.0}) {
+    const double p = model.success_probability(attempt);
+    const double lhs = p * attempt + (1.0 - p) * model.expected_lost_time(attempt);
+    testing::expect_rel_near((1.0 - p) / model.lambda(), lhs, 1e-12);
+  }
+}
+
+TEST(FailureModel, FromProcessorMtbf) {
+  // 100 processors with a 1e5 s MTBF -> platform rate 1e-3.
+  const FailureModel model = FailureModel::from_processor_mtbf(1e5, 100, 5.0);
+  expect_rel_near(1e-3, model.lambda(), 1e-12);
+  expect_rel_near(1e3, model.mtbf(), 1e-12);
+  EXPECT_DOUBLE_EQ(model.downtime(), 5.0);
+}
+
+TEST(FailureModel, SuccessProbability) {
+  const FailureModel model(0.01, 0.0);
+  expect_rel_near(std::exp(-1.0), model.success_probability(100.0), 1e-12);
+  EXPECT_DOUBLE_EQ(model.success_probability(0.0), 1.0);
+}
+
+TEST(FailureModel, HugeSegmentsOverflowToInfinity) {
+  const FailureModel model(1.0, 0.0);
+  EXPECT_TRUE(std::isinf(model.expected_time(1e6, 0.0, 0.0)));
+}
+
+TEST(FailureModel, RejectsInvalidParameters) {
+  EXPECT_THROW(FailureModel(-1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(FailureModel(0.1, -2.0), InvalidArgument);
+  EXPECT_THROW(FailureModel(std::nan(""), 0.0), InvalidArgument);
+  EXPECT_THROW(FailureModel::from_processor_mtbf(0.0, 4), InvalidArgument);
+  EXPECT_THROW(FailureModel::from_processor_mtbf(10.0, 0), InvalidArgument);
+  const FailureModel model(0.1, 0.0);
+  EXPECT_THROW(model.expected_time(-1.0, 0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(model.expected_time(1.0, -1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(model.expected_time(1.0, 0.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,106 @@
+// Tests for workflow (de)serialization.
+#include "workflows/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+void expect_graphs_equal(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.dag().edge_count(), b.dag().edge_count());
+  for (VertexId v = 0; v < a.task_count(); ++v) {
+    EXPECT_EQ(a.name(v), b.name(v));
+    EXPECT_EQ(a.type(v), b.type(v));
+    EXPECT_DOUBLE_EQ(a.weight(v), b.weight(v));
+    EXPECT_DOUBLE_EQ(a.ckpt_cost(v), b.ckpt_cost(v));
+    EXPECT_DOUBLE_EQ(a.recovery_cost(v), b.recovery_cost(v));
+    const auto sa = a.dag().successors(v);
+    const auto sb = b.dag().successors(v);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(Io, RoundTripPaperFigure1) {
+  TaskGraph original = make_paper_figure1(12.5);
+  original.apply_cost_model(CostModel::proportional(0.1));
+  std::stringstream buffer;
+  save_workflow(buffer, original);
+  const TaskGraph loaded = load_workflow(buffer);
+  expect_graphs_equal(original, loaded);
+}
+
+TEST(Io, RoundTripEveryGeneratorFamily) {
+  for (const WorkflowKind kind : all_workflow_kinds()) {
+    const TaskGraph original = generate_workflow(kind, {.task_count = 80, .seed = 13});
+    std::stringstream buffer;
+    save_workflow(buffer, original);
+    const TaskGraph loaded = load_workflow(buffer);
+    expect_graphs_equal(original, loaded);
+  }
+}
+
+TEST(Io, PreservesFullDoublePrecision) {
+  TaskGraph graph = make_uniform_chain(1, 1.0);
+  graph.set_weight(0, 0.1 + 0.2);  // not exactly representable
+  graph.set_costs(0, 1.0 / 3.0, 2.0 / 7.0);
+  std::stringstream buffer;
+  save_workflow(buffer, graph);
+  const TaskGraph loaded = load_workflow(buffer);
+  EXPECT_DOUBLE_EQ(loaded.weight(0), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(loaded.ckpt_cost(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(loaded.recovery_cost(0), 2.0 / 7.0);
+}
+
+TEST(Io, CommentsAndBlankLinesAreSkipped) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\nfpsched-workflow 1\n# another\ntasks 2\n"
+            "0 a generic 1.0 0.1 0.1\n1 b generic 2.0 0.2 0.2\n"
+            "edges 1\n0 1\n";
+  const TaskGraph graph = load_workflow(buffer);
+  EXPECT_EQ(graph.task_count(), 2u);
+  EXPECT_TRUE(graph.dag().has_edge(0, 1));
+}
+
+TEST(Io, MalformedInputsRejected) {
+  const auto expect_parse_error = [](const std::string& text) {
+    std::stringstream buffer(text);
+    EXPECT_THROW(load_workflow(buffer), ParseError) << text;
+  };
+  expect_parse_error("");
+  expect_parse_error("wrong-magic 1\n");
+  expect_parse_error("fpsched-workflow 9\n");
+  expect_parse_error("fpsched-workflow 1\nnotasks 2\n");
+  // Truncated task list.
+  expect_parse_error("fpsched-workflow 1\ntasks 2\n0 a g 1 0 0\n");
+  // Bad task id.
+  expect_parse_error("fpsched-workflow 1\ntasks 1\n7 a g 1 0 0\nedges 0\n");
+  // Duplicate task id.
+  expect_parse_error("fpsched-workflow 1\ntasks 2\n0 a g 1 0 0\n0 b g 1 0 0\nedges 0\n");
+  // Edge out of range.
+  expect_parse_error("fpsched-workflow 1\ntasks 1\n0 a g 1 0 0\nedges 1\n0 9\n");
+  // Cycle.
+  expect_parse_error(
+      "fpsched-workflow 1\ntasks 2\n0 a g 1 0 0\n1 b g 1 0 0\nedges 2\n0 1\n1 0\n");
+  // Negative cost.
+  expect_parse_error("fpsched-workflow 1\ntasks 1\n0 a g -1 0 0\nedges 0\n");
+}
+
+TEST(Io, FileRoundTrip) {
+  const TaskGraph original = generate_montage({.task_count = 40, .seed = 2});
+  const std::string path = ::testing::TempDir() + "/fpsched_io_test.wf";
+  save_workflow_file(path, original);
+  const TaskGraph loaded = load_workflow_file(path);
+  expect_graphs_equal(original, loaded);
+  EXPECT_THROW(load_workflow_file("/nonexistent/dir/x.wf"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

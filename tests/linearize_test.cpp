@@ -1,0 +1,130 @@
+// Tests for the DF / BF / RF linearization strategies.
+#include "dag/linearize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/traversal.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(Linearize, NamesAndEnumeration) {
+  EXPECT_EQ(to_string(LinearizeMethod::depth_first), "DF");
+  EXPECT_EQ(to_string(LinearizeMethod::breadth_first), "BF");
+  EXPECT_EQ(to_string(LinearizeMethod::random_first), "RF");
+  EXPECT_EQ(all_linearize_methods().size(), 3u);
+}
+
+TEST(Linearize, DepthFirstFollowsTheHeavyBranchFirst) {
+  // The paper's priority is the OUTWEIGHT (sum of successors' weights), so
+  // build branches whose heads differ in successor weight:
+  //   0 -> 1 -> 4 (w=50), 0 -> 2 -> 5 (w=10), 0 -> 3 -> 6 (w=1).
+  DagBuilder builder;
+  builder.add_vertices(7);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 3);
+  builder.add_edge(1, 4);
+  builder.add_edge(2, 5);
+  builder.add_edge(3, 6);
+  const Dag dag = std::move(builder).build();
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0, 50.0, 10.0, 1.0};
+  const auto order = linearize(dag, w, LinearizeMethod::depth_first);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);  // outweight 50 first
+  EXPECT_EQ(order[2], 4u);  // DF dives into the branch it started
+  EXPECT_EQ(order[3], 2u);  // then outweight 10
+  EXPECT_EQ(order[4], 5u);
+  EXPECT_EQ(order[5], 3u);  // then outweight 1
+  EXPECT_EQ(order[6], 6u);
+}
+
+TEST(Linearize, DepthFirstDivesBeforeSwitchingBranches) {
+  // Two independent chains a0->a1, b0->b1 with equal weights: DF finishes
+  // the chain it starts; BF alternates between the chains.
+  DagBuilder builder;
+  builder.add_vertices(4);
+  builder.add_edge(0, 1);  // chain A
+  builder.add_edge(2, 3);  // chain B
+  const Dag dag = std::move(builder).build();
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+
+  const auto df = linearize(dag, w, LinearizeMethod::depth_first);
+  // DF: after executing a source, its newly-enabled successor runs next.
+  const auto pos = [&](const std::vector<VertexId>& order, VertexId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_EQ(pos(df, 1), pos(df, 0) + 1);  // A's successor immediately follows
+  const auto bf = linearize(dag, w, LinearizeMethod::breadth_first);
+  EXPECT_EQ(bf, (std::vector<VertexId>{0, 2, 1, 3}));  // wave by wave
+}
+
+TEST(Linearize, BreadthFirstOrdersWavesByOutweight) {
+  // Join: sources with different outweights... all share the sink, so use
+  // weights to check in-wave ordering via the outweight tie-break on ids.
+  const TaskGraph join = make_join(std::vector<double>{5.0, 1.0, 3.0}, 2.0);
+  const auto order = linearize(join.dag(), join.weights(), LinearizeMethod::breadth_first);
+  // All sources have outweight = w_sink = 2; tie-break is ascending id.
+  EXPECT_EQ(order, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(Linearize, RandomFirstIsSeededAndValid) {
+  const TaskGraph graph = make_paper_figure1(1.0);
+  const auto a = linearize(graph.dag(), graph.weights(), LinearizeMethod::random_first,
+                           {.seed = 1});
+  const auto b = linearize(graph.dag(), graph.weights(), LinearizeMethod::random_first,
+                           {.seed = 1});
+  const auto c = linearize(graph.dag(), graph.weights(), LinearizeMethod::random_first,
+                           {.seed = 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // with 8 tasks a collision is vanishingly unlikely
+  EXPECT_TRUE(is_valid_linearization(graph.dag(), a));
+  EXPECT_TRUE(is_valid_linearization(graph.dag(), c));
+}
+
+TEST(Linearize, OutweightModeChangesPriorities) {
+  // Vertex 1's direct successors are light but its subtree is heavy:
+  //   0 -> {1, 2}; 1 -> 3 (w=1) -> 4 (w=100); 2 -> 5 (w=10).
+  DagBuilder builder;
+  builder.add_vertices(6);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(3, 4);
+  builder.add_edge(2, 5);
+  const Dag dag = std::move(builder).build();
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0, 100.0, 10.0};
+
+  const auto direct = linearize(dag, w, LinearizeMethod::depth_first,
+                                {.outweight = OutweightMode::direct});
+  const auto deep = linearize(dag, w, LinearizeMethod::depth_first,
+                              {.outweight = OutweightMode::descendants});
+  // direct: d(1) = w3 = 1 < d(2) = w5 = 10 -> vertex 2 first.
+  EXPECT_EQ(direct[1], 2u);
+  // descendants: d(1) = 1 + 100 = 101 > d(2) = 10 -> vertex 1 first.
+  EXPECT_EQ(deep[1], 1u);
+}
+
+// Every strategy must produce a valid linearization on every workflow.
+class LinearizeAllWorkflows
+    : public ::testing::TestWithParam<std::tuple<WorkflowKind, LinearizeMethod>> {};
+
+TEST_P(LinearizeAllWorkflows, ProducesValidLinearizations) {
+  const auto [kind, method] = GetParam();
+  const TaskGraph graph = generate_workflow(kind, {.task_count = 120, .seed = 3});
+  const auto order = linearize(graph.dag(), graph.weights(), method, {.seed = 99});
+  EXPECT_TRUE(is_valid_linearization(graph.dag(), order));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workflows, LinearizeAllWorkflows,
+    ::testing::Combine(::testing::ValuesIn(all_workflow_kinds().begin(),
+                                           all_workflow_kinds().end()),
+                       ::testing::Values(LinearizeMethod::depth_first,
+                                         LinearizeMethod::breadth_first,
+                                         LinearizeMethod::random_first)));
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,126 @@
+// The central validation of the reproduction: the analytic Theorem-3
+// evaluator and the independent fault-injection simulator must agree on
+// E[makespan] — on elementary shapes, the paper's Figure-1 example, and
+// Pegasus-like workflows, across failure rates and checkpoint patterns.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "dag/linearize.hpp"
+#include "heuristics/checkpoint_strategy.hpp"
+#include "sim/trial_runner.hpp"
+#include "support/stats.hpp"
+#include "test_util.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::topo_schedule;
+
+// Acceptance: |analytic - MC mean| <= CI95 + slack standard errors. The
+// widening guards against the occasional statistical excursion while any
+// semantic mismatch still shows up as a many-sigma disagreement.
+void expect_mc_agrees(const TaskGraph& graph, const FailureModel& model, const Schedule& schedule,
+                      std::size_t trials, std::uint64_t seed) {
+  const double analytic = ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+  const FaultSimulator sim(graph, model, schedule);
+  const MonteCarloSummary mc = run_trials(sim, {.trials = trials, .seed = seed});
+  EXPECT_TRUE(mc.consistent_with(analytic, /*slack=*/3.0))
+      << "analytic=" << analytic << " mc=" << mc.mean_makespan() << " +/- " << mc.ci95()
+      << " (n=" << trials << ")";
+}
+
+TEST(McCrossValidation, SingleTask) {
+  TaskGraph graph = make_uniform_chain(1, 80.0);
+  graph.set_costs(0, 8.0, 6.0);
+  Schedule schedule = topo_schedule(graph);
+  schedule.checkpointed[0] = 1;
+  expect_mc_agrees(graph, FailureModel(0.01, 2.0), schedule, 40000, 11);
+}
+
+TEST(McCrossValidation, ChainWithMixedCheckpoints) {
+  TaskGraph graph = make_chain(std::vector<double>{30.0, 12.0, 45.0, 8.0, 20.0});
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  Schedule schedule = topo_schedule(graph);
+  schedule.checkpointed[1] = 1;
+  schedule.checkpointed[3] = 1;
+  expect_mc_agrees(graph, FailureModel(0.005, 1.0), schedule, 40000, 12);
+}
+
+TEST(McCrossValidation, ForkBothDecisions) {
+  TaskGraph graph = make_fork(40.0, std::vector<double>{15.0, 25.0, 10.0});
+  graph.apply_cost_model(CostModel::proportional(0.2));
+  expect_mc_agrees(graph, FailureModel(0.006, 0.0), topo_schedule(graph), 40000, 13);
+  Schedule ckpt = topo_schedule(graph);
+  ckpt.checkpointed[0] = 1;
+  expect_mc_agrees(graph, FailureModel(0.006, 0.0), ckpt, 40000, 14);
+}
+
+TEST(McCrossValidation, JoinWithCheckpointedSources) {
+  TaskGraph graph = make_join(std::vector<double>{22.0, 35.0, 11.0, 18.0}, 16.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  Schedule schedule = topo_schedule(graph);
+  schedule.checkpointed[1] = 1;
+  schedule.checkpointed[3] = 1;
+  expect_mc_agrees(graph, FailureModel(0.004, 3.0), schedule, 40000, 15);
+}
+
+TEST(McCrossValidation, PaperFigure1Schedule) {
+  TaskGraph graph = make_paper_figure1(20.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7}, {0, 0, 0, 1, 1, 0, 0, 0});
+  expect_mc_agrees(graph, FailureModel(0.004, 1.0), schedule, 40000, 16);
+}
+
+TEST(McCrossValidation, DiamondDependencies) {
+  // Diamonds exercise the shared-predecessor paths of the recovery plan.
+  TaskGraph graph = make_fork_join(3, 3, 18.0);
+  graph.apply_cost_model(CostModel::proportional(0.15));
+  Schedule schedule = topo_schedule(graph);
+  schedule.checkpointed[4] = 1;
+  expect_mc_agrees(graph, FailureModel(0.003, 0.0), schedule, 30000, 17);
+}
+
+struct McCase {
+  WorkflowKind kind;
+  double lambda;
+  double ckpt_fraction;  // checkpoint the heaviest fraction of tasks
+};
+
+class McWorkflow : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(McWorkflow, AnalyticWithinConfidenceInterval) {
+  const McCase& param = GetParam();
+  const TaskGraph graph =
+      generate_workflow(param.kind, {.task_count = 40, .seed = 21, .weight_cv = 0.3,
+                                     .cost_model = CostModel::proportional(0.1)});
+  const std::vector<double> weights = graph.weights();
+  std::vector<VertexId> order = linearize(graph.dag(), weights, LinearizeMethod::depth_first);
+  const std::size_t budget =
+      static_cast<std::size_t>(param.ckpt_fraction * static_cast<double>(graph.task_count()));
+  const Schedule schedule =
+      make_heuristic_schedule(graph, std::move(order), CkptStrategy::by_weight, budget);
+  expect_mc_agrees(graph, FailureModel(param.lambda, 0.0), schedule, 20000,
+                   1000 + static_cast<std::uint64_t>(param.kind));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workflows, McWorkflow,
+                         ::testing::Values(McCase{WorkflowKind::montage, 1e-3, 0.3},
+                                           McCase{WorkflowKind::cybershake, 1e-3, 0.3},
+                                           McCase{WorkflowKind::ligo, 2e-4, 0.5},
+                                           McCase{WorkflowKind::genome, 2e-5, 0.5}));
+
+TEST(McCrossValidation, WastedTimeMatchesMakespanGap) {
+  TaskGraph graph = make_paper_figure1(15.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  const Schedule schedule({0, 3, 1, 2, 4, 5, 6, 7}, {0, 0, 0, 1, 1, 0, 0, 0});
+  const FailureModel model(0.01, 2.0);
+  const FaultSimulator sim(graph, model, schedule);
+  const MonteCarloSummary mc = run_trials(sim, {.trials = 2000, .seed = 3});
+  const double fault_free = graph.total_weight() + graph.ckpt_cost(3) + graph.ckpt_cost(4);
+  EXPECT_NEAR(mc.wasted_time.mean(), mc.mean_makespan() - fault_free, 1e-6);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,121 @@
+// Tests for the exhaustive checkpoint-budget sweep.
+#include "heuristics/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/linearize.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::expect_rel_near;
+
+TEST(Sweep, CurveCoversEveryBudgetWithStrideOne) {
+  TaskGraph graph = generate_montage({.task_count = 30, .seed = 4});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const std::vector<double> weights = graph.weights();
+  const auto order = linearize(graph.dag(), weights, LinearizeMethod::depth_first);
+  const SweepResult result =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {.stride = 1});
+  ASSERT_EQ(result.curve.size(), graph.task_count() - 1);  // budgets 1..n-1
+  for (std::size_t i = 0; i < result.curve.size(); ++i) {
+    EXPECT_EQ(result.curve[i].budget, i + 1);
+    EXPECT_GT(result.curve[i].expected_makespan, 0.0);
+  }
+}
+
+TEST(Sweep, BestMatchesTheCurveMinimum) {
+  TaskGraph graph = generate_cybershake({.task_count = 40, .seed = 9});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
+  const SweepResult result =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_cost, {.stride = 1});
+  double minimum = result.curve.front().expected_makespan;
+  for (const SweepPoint& point : result.curve)
+    minimum = std::min(minimum, point.expected_makespan);
+  expect_rel_near(minimum, result.best_expected_makespan, 1e-12);
+  // And the winning schedule re-evaluates to the reported value.
+  expect_rel_near(evaluator.evaluate(result.best_schedule).expected_makespan,
+                  result.best_expected_makespan, 1e-12);
+}
+
+TEST(Sweep, ParallelAndSerialAgree) {
+  TaskGraph graph = generate_ligo({.task_count = 44, .seed = 2});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 1.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::breadth_first);
+  const SweepResult serial =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {.threads = 1});
+  const SweepResult parallel =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {.threads = 8});
+  EXPECT_EQ(serial.best_budget, parallel.best_budget);
+  EXPECT_DOUBLE_EQ(serial.best_expected_makespan, parallel.best_expected_makespan);
+  ASSERT_EQ(serial.curve.size(), parallel.curve.size());
+  for (std::size_t i = 0; i < serial.curve.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.curve[i].expected_makespan, parallel.curve[i].expected_makespan);
+}
+
+TEST(Sweep, StrideSubsamplesButKeepsEndpoints) {
+  TaskGraph graph = generate_montage({.task_count = 30, .seed = 4});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
+  const SweepResult strided =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {.stride = 7});
+  ASSERT_FALSE(strided.curve.empty());
+  EXPECT_EQ(strided.curve.front().budget, 1u);
+  EXPECT_EQ(strided.curve.back().budget, graph.task_count() - 1);
+  EXPECT_LT(strided.curve.size(), graph.task_count() - 1);
+  // A strided sweep can only be as good as the exhaustive one.
+  const SweepResult full =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {.stride = 1});
+  EXPECT_GE(strided.best_expected_makespan, full.best_expected_makespan - 1e-12);
+}
+
+TEST(Sweep, NonBudgetedStrategiesReturnASinglePoint) {
+  TaskGraph graph = generate_montage({.task_count = 25, .seed = 6});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
+  const SweepResult never =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::never, {});
+  EXPECT_EQ(never.curve.size(), 1u);
+  EXPECT_EQ(never.best_schedule.checkpoint_count(), 0u);
+  const SweepResult always =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::always, {});
+  EXPECT_EQ(always.best_schedule.checkpoint_count(), graph.task_count());
+}
+
+TEST(Sweep, IncludeZeroAddsTheEmptyBudget) {
+  TaskGraph graph = generate_montage({.task_count = 25, .seed = 6});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
+  const SweepResult result = sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight,
+                                                     {.stride = 1, .include_zero = true});
+  EXPECT_EQ(result.curve.front().budget, 0u);
+  EXPECT_EQ(result.curve.front().checkpoints, 0u);
+}
+
+TEST(Sweep, SingleTaskGraph) {
+  const TaskGraph graph = make_uniform_chain(1, 5.0);
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-2, 0.0));
+  const std::vector<VertexId> order{0};
+  const SweepResult result =
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {});
+  EXPECT_EQ(result.curve.size(), 1u);
+}
+
+TEST(Sweep, RejectsBadInputs) {
+  const TaskGraph graph = make_uniform_chain(3, 5.0);
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-2, 0.0));
+  const std::vector<VertexId> order{0, 1, 2};
+  EXPECT_THROW(
+      sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, {.stride = 0}),
+      InvalidArgument);
+  EXPECT_THROW(sweep_checkpoint_budget(evaluator, {2, 1, 0}, CkptStrategy::by_weight, {}),
+               ScheduleError);
+}
+
+}  // namespace
+}  // namespace fpsched

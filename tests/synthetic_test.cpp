@@ -1,0 +1,106 @@
+// Tests for the elementary synthetic DAG builders.
+#include "workflows/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/theory_chain.hpp"
+#include "core/theory_fork.hpp"
+#include "core/theory_join.hpp"
+#include "dag/traversal.hpp"
+#include "support/error.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(Synthetic, ChainShape) {
+  const TaskGraph graph = make_chain(std::vector<double>{1.0, 2.0, 3.0});
+  std::vector<VertexId> path;
+  EXPECT_TRUE(is_chain(graph.dag(), &path));
+  EXPECT_EQ(path, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(graph.dag().edge_count(), 2u);
+  EXPECT_THROW(make_chain(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Synthetic, UniformChain) {
+  const TaskGraph graph = make_uniform_chain(5, 7.0);
+  EXPECT_EQ(graph.task_count(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(graph.weight(v), 7.0);
+}
+
+TEST(Synthetic, ForkShape) {
+  const TaskGraph graph = make_fork(10.0, std::vector<double>{1.0, 2.0, 3.0});
+  VertexId src = 99;
+  EXPECT_TRUE(is_fork(graph.dag(), &src));
+  EXPECT_EQ(src, 0u);
+  EXPECT_DOUBLE_EQ(graph.weight(0), 10.0);
+  EXPECT_EQ(graph.dag().out_degree(0), 3u);
+  EXPECT_FALSE(is_join(graph.dag()));
+}
+
+TEST(Synthetic, JoinShape) {
+  const TaskGraph graph = make_join(std::vector<double>{1.0, 2.0, 3.0}, 10.0);
+  VertexId sink = 99;
+  EXPECT_TRUE(is_join(graph.dag(), &sink));
+  EXPECT_EQ(sink, 3u);
+  EXPECT_DOUBLE_EQ(graph.weight(3), 10.0);
+  EXPECT_FALSE(is_fork(graph.dag()));
+}
+
+TEST(Synthetic, ForkJoinShape) {
+  const TaskGraph graph = make_fork_join(3, 4, 2.0);
+  EXPECT_EQ(graph.task_count(), 3u * 4u + 2u);
+  EXPECT_EQ(graph.dag().sources().size(), 1u);
+  EXPECT_EQ(graph.dag().sinks().size(), 1u);
+  const auto levels = vertex_levels(graph.dag());
+  EXPECT_EQ(*std::max_element(levels.begin(), levels.end()), 4u);
+}
+
+TEST(Synthetic, LayeredRandomIsValidAndConnectedDownward) {
+  const TaskGraph graph =
+      make_layered_random({.task_count = 60, .layer_count = 6, .edge_probability = 0.2,
+                           .mean_weight = 10.0, .weight_cv = 0.5, .seed = 42});
+  EXPECT_EQ(graph.task_count(), 60u);
+  const auto levels = vertex_levels(graph.dag());
+  // Every non-first-layer vertex has at least one predecessor.
+  std::size_t with_preds = 0;
+  for (VertexId v = 0; v < graph.task_count(); ++v)
+    if (graph.dag().in_degree(v) > 0) ++with_preds;
+  EXPECT_GE(with_preds, 60u - 60u / 6u - 10u);
+  // Weights are positive.
+  for (VertexId v = 0; v < graph.task_count(); ++v) EXPECT_GT(graph.weight(v), 0.0);
+}
+
+TEST(Synthetic, LayeredRandomDeterministicPerSeed) {
+  const LayeredRandomConfig config{.task_count = 40, .layer_count = 5, .seed = 9};
+  const TaskGraph a = make_layered_random(config);
+  const TaskGraph b = make_layered_random(config);
+  EXPECT_EQ(a.dag().edge_count(), b.dag().edge_count());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(Synthetic, PaperFigure1MatchesThePaper) {
+  const TaskGraph graph = make_paper_figure1(10.0);
+  EXPECT_EQ(graph.task_count(), 8u);
+  const Dag& dag = graph.dag();
+  EXPECT_TRUE(dag.has_edge(0, 3));
+  EXPECT_TRUE(dag.has_edge(3, 5));
+  EXPECT_TRUE(dag.has_edge(5, 6));
+  EXPECT_TRUE(dag.has_edge(1, 2));
+  EXPECT_TRUE(dag.has_edge(2, 4));
+  EXPECT_TRUE(dag.has_edge(2, 7));
+  EXPECT_TRUE(dag.has_edge(4, 6));
+  EXPECT_EQ(dag.edge_count(), 7u);
+  // Sources T0, T1; sinks T6, T7 — as drawn in the paper.
+  EXPECT_EQ(dag.sources(), (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(dag.sinks(), (std::vector<VertexId>{6, 7}));
+}
+
+TEST(Synthetic, InvalidConfigurations) {
+  EXPECT_THROW(make_fork(1.0, std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(make_join(std::vector<double>{}, 1.0), InvalidArgument);
+  EXPECT_THROW(make_fork_join(0, 3, 1.0), InvalidArgument);
+  EXPECT_THROW(make_layered_random({.task_count = 3, .layer_count = 9}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,76 @@
+// Tests for the console table / CSV writer.
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+  EXPECT_EQ(format_double(-0.5, 2), "-0.50");
+}
+
+TEST(Table, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.row().cell("short").cell(1.5);
+  table.row().cell("a-much-longer-name").cell(20.25, 2);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("20.25"), std::string::npos);
+  // Header separator row exists.
+  EXPECT_NE(out.find("|-"), std::string::npos);
+  // All lines end with the table border.
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '|');
+  }
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table table({"k", "v"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "multi\nline"});
+  std::ostringstream os;
+  table.to_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("k,v"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(Table, RowBuilderSizeTypes) {
+  Table table({"n", "x"});
+  table.row().cell(std::size_t{42}).cell(3.14159, 4);
+  std::ostringstream os;
+  table.to_csv(os);
+  EXPECT_NE(os.str().find("42,3.1416"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.columns(), 3u);
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1", "2", "3"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace fpsched

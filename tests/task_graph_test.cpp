@@ -1,0 +1,79 @@
+// Tests for the TaskGraph container and cost models.
+#include "workflows/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(TaskGraph, AccessorsAndTotals) {
+  const TaskGraph graph = make_chain(std::vector<double>{2.0, 3.0, 5.0});
+  EXPECT_EQ(graph.task_count(), 3u);
+  EXPECT_DOUBLE_EQ(graph.weight(1), 3.0);
+  EXPECT_DOUBLE_EQ(graph.total_weight(), 10.0);
+  EXPECT_DOUBLE_EQ(graph.average_weight(), 10.0 / 3.0);
+  EXPECT_EQ(graph.weights(), (std::vector<double>{2.0, 3.0, 5.0}));
+  EXPECT_EQ(graph.name(0), "chain0");
+  EXPECT_EQ(graph.type(0), "chain");
+}
+
+TEST(TaskGraph, ProportionalCostModel) {
+  TaskGraph graph = make_chain(std::vector<double>{10.0, 20.0});
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  EXPECT_DOUBLE_EQ(graph.ckpt_cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.recovery_cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.ckpt_cost(1), 2.0);
+}
+
+TEST(TaskGraph, ConstantCostModel) {
+  TaskGraph graph = make_chain(std::vector<double>{10.0, 20.0});
+  graph.apply_cost_model(CostModel::constant(5.0));
+  EXPECT_DOUBLE_EQ(graph.ckpt_cost(0), 5.0);
+  EXPECT_DOUBLE_EQ(graph.ckpt_cost(1), 5.0);
+  EXPECT_DOUBLE_EQ(graph.recovery_cost(1), 5.0);
+}
+
+TEST(TaskGraph, CostModelDescriptions) {
+  EXPECT_NE(CostModel::proportional(0.1).describe().find("0.100 * w_i"), std::string::npos);
+  EXPECT_NE(CostModel::constant(5.0).describe().find("5.000 s"), std::string::npos);
+}
+
+TEST(TaskGraph, SetCostsAndWeight) {
+  TaskGraph graph = make_chain(std::vector<double>{10.0, 20.0});
+  graph.set_costs(0, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(graph.ckpt_cost(0), 3.0);
+  EXPECT_DOUBLE_EQ(graph.recovery_cost(0), 2.0);
+  graph.set_weight(1, 25.0);
+  EXPECT_DOUBLE_EQ(graph.weight(1), 25.0);
+  EXPECT_THROW(graph.set_costs(5, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(graph.set_costs(0, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(graph.set_weight(0, std::nan("")), InvalidArgument);
+}
+
+TEST(TaskGraph, ConstructorValidation) {
+  DagBuilder builder;
+  builder.add_vertices(2);
+  builder.add_edge(0, 1);
+  Dag dag = std::move(builder).build();
+  // Size mismatch.
+  EXPECT_THROW(TaskGraph(dag, std::vector<Task>(3)), InvalidArgument);
+  // Negative cost.
+  std::vector<Task> tasks(2);
+  tasks[1].weight = -1.0;
+  EXPECT_THROW(TaskGraph(dag, tasks), InvalidArgument);
+}
+
+TEST(TaskGraph, EmptyGraphTotals) {
+  const TaskGraph graph;
+  EXPECT_EQ(graph.task_count(), 0u);
+  EXPECT_DOUBLE_EQ(graph.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(graph.average_weight(), 0.0);
+}
+
+}  // namespace
+}  // namespace fpsched

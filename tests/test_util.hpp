@@ -1,0 +1,43 @@
+// Shared helpers for the fpsched test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "support/stats.hpp"
+#include "workflows/task_graph.hpp"
+
+namespace fpsched::testing {
+
+/// EXPECT that two doubles agree within a relative tolerance (handles the
+/// magnitude swings of Eq. (1) better than absolute EXPECT_NEAR).
+inline void expect_rel_near(double expected, double actual, double tol = 1e-9,
+                            const char* what = "") {
+  EXPECT_LE(relative_difference(expected, actual), tol)
+      << what << " expected=" << expected << " actual=" << actual;
+}
+
+inline void assert_rel_near(double expected, double actual, double tol = 1e-9,
+                            const char* what = "") {
+  ASSERT_LE(relative_difference(expected, actual), tol)
+      << what << " expected=" << expected << " actual=" << actual;
+}
+
+/// Schedule with the graph's deterministic topological order and no
+/// checkpoints.
+inline Schedule topo_schedule(const TaskGraph& graph) {
+  const auto topo = graph.dag().topological_order();
+  return make_schedule(std::vector<VertexId>(topo.begin(), topo.end()));
+}
+
+/// Same, with the given vertices checkpointed.
+inline Schedule topo_schedule_with_ckpts(const TaskGraph& graph,
+                                         const std::vector<VertexId>& ckpts) {
+  Schedule schedule = topo_schedule(graph);
+  for (const VertexId v : ckpts) schedule.checkpointed[v] = 1;
+  return schedule;
+}
+
+}  // namespace fpsched::testing

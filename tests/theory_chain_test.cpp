@@ -1,0 +1,134 @@
+// Tests for the chain dynamic program (Toueg-Babaoglu style optimal
+// checkpoint placement).
+#include "core/theory_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::assert_rel_near;
+using testing::expect_rel_near;
+
+TaskGraph random_chain(Rng& rng, std::size_t n, double cost_factor) {
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.uniform(2.0, 50.0);
+  TaskGraph graph = make_chain(weights);
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    const double c = cost_factor * graph.weight(v);
+    graph.set_costs(v, c, 0.8 * c);
+  }
+  return graph;
+}
+
+TEST(IsChain, Recognition) {
+  std::vector<VertexId> path;
+  EXPECT_TRUE(is_chain(make_uniform_chain(4, 1.0).dag(), &path));
+  EXPECT_EQ(path.size(), 4u);
+  EXPECT_FALSE(is_chain(make_fork(1.0, std::vector<double>{1.0, 2.0}).dag()));
+  EXPECT_FALSE(is_chain(make_join(std::vector<double>{1.0, 2.0}, 1.0).dag()));
+  EXPECT_FALSE(is_chain(make_paper_figure1(1.0).dag()));
+}
+
+TEST(ChainExpectedTime, SegmentsMatchTheGeneralEvaluator) {
+  Rng rng(31);
+  const TaskGraph graph = random_chain(rng, 8, 0.2);
+  const FailureModel model(0.012, 1.5);
+  const ScheduleEvaluator evaluator(graph, model);
+  for (const std::vector<std::size_t>& marks :
+       {std::vector<std::size_t>{}, {0}, {7}, {2, 5}, {0, 1, 2, 3, 4, 5, 6, 7}, {3}}) {
+    const double closed = chain_expected_time(graph, model, marks);
+    Schedule schedule = testing::topo_schedule(graph);
+    for (const std::size_t pos : marks) schedule.checkpointed[pos] = 1;
+    assert_rel_near(evaluator.evaluate(schedule).expected_makespan, closed, 1e-9,
+                    "chain segment form vs evaluator");
+  }
+}
+
+TEST(ChainExpectedTime, DeduplicatesAndValidatesPositions) {
+  const TaskGraph graph = make_uniform_chain(4, 10.0);
+  const FailureModel model(0.01, 0.0);
+  EXPECT_DOUBLE_EQ(chain_expected_time(graph, model, {1, 1, 1}),
+                   chain_expected_time(graph, model, {1}));
+  EXPECT_THROW(chain_expected_time(graph, model, {9}), InvalidArgument);
+}
+
+TEST(ChainOptimal, MatchesBruteForce) {
+  Rng rng(77);
+  for (int instance = 0; instance < 8; ++instance) {
+    const TaskGraph graph = random_chain(rng, 9, rng.uniform(0.05, 0.4));
+    const FailureModel model(rng.uniform(0.002, 0.05), (instance % 2) ? 2.0 : 0.0);
+    const ChainSolution dp = solve_chain_optimal(graph, model);
+    const ChainSolution exact = solve_chain_bruteforce(graph, model);
+    assert_rel_near(exact.expected_makespan, dp.expected_makespan, 1e-9,
+                    "chain DP vs brute force");
+    EXPECT_NO_THROW(validate_schedule(graph, dp.schedule));
+    // The reported checkpoint set reproduces the reported value.
+    assert_rel_near(chain_expected_time(graph, model, dp.checkpoint_positions),
+                    dp.expected_makespan, 1e-9);
+  }
+}
+
+TEST(ChainOptimal, NoFailuresMeansNoCheckpoints) {
+  Rng rng(5);
+  const TaskGraph graph = random_chain(rng, 6, 0.2);
+  const ChainSolution solution = solve_chain_optimal(graph, FailureModel(0.0, 0.0));
+  EXPECT_TRUE(solution.checkpoint_positions.empty());
+  expect_rel_near(graph.total_weight(), solution.expected_makespan, 1e-12);
+}
+
+TEST(ChainOptimal, HighFailureRateCheckpointsDensely) {
+  // Cheap checkpoints + high failure rate: checkpoint nearly everywhere.
+  TaskGraph graph = make_uniform_chain(10, 20.0);
+  graph.apply_cost_model(CostModel::constant(0.1));
+  const ChainSolution solution = solve_chain_optimal(graph, FailureModel(0.05, 0.0));
+  EXPECT_GE(solution.checkpoint_positions.size(), 8u);
+}
+
+TEST(ChainOptimal, ExpensiveCheckpointsAreSkipped) {
+  TaskGraph graph = make_uniform_chain(6, 5.0);
+  graph.apply_cost_model(CostModel::constant(1000.0));
+  const ChainSolution solution = solve_chain_optimal(graph, FailureModel(0.001, 0.0));
+  EXPECT_TRUE(solution.checkpoint_positions.empty());
+}
+
+TEST(ChainOptimal, NeverCheckpointsTheLastTaskUnlessFree) {
+  // A checkpoint on the final task is pure overhead; the optimum avoids
+  // it whenever c > 0.
+  Rng rng(13);
+  for (int instance = 0; instance < 5; ++instance) {
+    const TaskGraph graph = random_chain(rng, 7, 0.25);
+    const ChainSolution solution =
+        solve_chain_optimal(graph, FailureModel(rng.uniform(0.005, 0.05), 0.0));
+    for (const std::size_t pos : solution.checkpoint_positions) EXPECT_NE(pos, 6u);
+  }
+}
+
+TEST(ChainOptimal, BeatsArbitraryPlacements) {
+  Rng rng(17);
+  const TaskGraph graph = random_chain(rng, 12, 0.15);
+  const FailureModel model(0.02, 1.0);
+  const ChainSolution solution = solve_chain_optimal(graph, model);
+  for (int probe = 0; probe < 30; ++probe) {
+    std::vector<std::size_t> marks;
+    for (std::size_t pos = 0; pos < 12; ++pos)
+      if (rng.bernoulli(0.4)) marks.push_back(pos);
+    EXPECT_LE(solution.expected_makespan,
+              chain_expected_time(graph, model, marks) * (1.0 + 1e-12));
+  }
+}
+
+TEST(ChainSolvers, RejectNonChains) {
+  const TaskGraph fork = make_fork(1.0, std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(solve_chain_optimal(fork, FailureModel(0.01, 0.0)), InvalidArgument);
+  EXPECT_THROW(chain_expected_time(fork, FailureModel(0.01, 0.0), {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,96 @@
+// Tests for Theorem 1 (optimal schedules on fork graphs).
+#include "core/theory_fork.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::expect_rel_near;
+
+TEST(IsFork, RecognizesForks) {
+  VertexId src = 99;
+  EXPECT_TRUE(is_fork(make_fork(1.0, std::vector<double>{1.0, 2.0}).dag(), &src));
+  EXPECT_EQ(src, 0u);
+  EXPECT_TRUE(is_fork(make_uniform_chain(1, 1.0).dag()));          // degenerate
+  EXPECT_TRUE(is_fork(make_uniform_chain(2, 1.0).dag()));          // 1 source, 1 sink
+  EXPECT_FALSE(is_fork(make_uniform_chain(3, 1.0).dag()));         // depth 2
+  EXPECT_FALSE(is_fork(make_join(std::vector<double>{1.0, 2.0}, 1.0).dag()));
+  EXPECT_FALSE(is_fork(make_paper_figure1(1.0).dag()));
+}
+
+TEST(ForkAnalysis, BothBranchesMatchTheGeneralEvaluator) {
+  TaskGraph graph = make_fork(30.0, std::vector<double>{10.0, 20.0, 5.0});
+  graph.set_costs(0, 3.0, 2.0);
+  const FailureModel model(0.01, 1.0);
+  const ForkAnalysis analysis = analyze_fork(graph, model);
+
+  const ScheduleEvaluator evaluator(graph, model);
+  Schedule with = make_schedule({0, 1, 2, 3});
+  with.checkpointed[0] = 1;
+  const Schedule without = make_schedule({0, 1, 2, 3});
+
+  expect_rel_near(evaluator.evaluate(with).expected_makespan, analysis.expected_with_checkpoint,
+                  1e-9);
+  expect_rel_near(evaluator.evaluate(without).expected_makespan,
+                  analysis.expected_without_checkpoint, 1e-9);
+}
+
+TEST(ForkAnalysis, CheapCheckpointIsTaken) {
+  // Heavy source, nearly free checkpoint: checkpointing must win.
+  TaskGraph graph = make_fork(500.0, std::vector<double>{50.0, 60.0, 70.0});
+  graph.set_costs(0, 0.1, 0.1);
+  const ForkAnalysis analysis = analyze_fork(graph, FailureModel(0.005, 0.0));
+  EXPECT_TRUE(analysis.checkpoint_source);
+  EXPECT_LT(analysis.expected_with_checkpoint, analysis.expected_without_checkpoint);
+}
+
+TEST(ForkAnalysis, ExpensiveCheckpointIsSkipped) {
+  // Tiny source, enormous checkpoint cost: not worth it.
+  TaskGraph graph = make_fork(1.0, std::vector<double>{1.0, 1.0});
+  graph.set_costs(0, 500.0, 500.0);
+  const ForkAnalysis analysis = analyze_fork(graph, FailureModel(0.001, 0.0));
+  EXPECT_FALSE(analysis.checkpoint_source);
+}
+
+TEST(ForkAnalysis, NoFailuresMeansNoCheckpoint) {
+  TaskGraph graph = make_fork(10.0, std::vector<double>{1.0, 2.0});
+  graph.set_costs(0, 1.0, 1.0);
+  const ForkAnalysis analysis = analyze_fork(graph, FailureModel(0.0, 0.0));
+  EXPECT_FALSE(analysis.checkpoint_source);
+  EXPECT_DOUBLE_EQ(analysis.expected_without_checkpoint, 13.0);
+}
+
+TEST(ForkAnalysis, DecisionFlipsWithTheFailureRate) {
+  // Moderate checkpoint cost: useless at low rates, vital at high rates.
+  TaskGraph graph = make_fork(100.0, std::vector<double>{40.0, 40.0, 40.0, 40.0});
+  graph.set_costs(0, 20.0, 10.0);
+  EXPECT_FALSE(analyze_fork(graph, FailureModel(1e-5, 0.0)).checkpoint_source);
+  EXPECT_TRUE(analyze_fork(graph, FailureModel(1e-2, 0.0)).checkpoint_source);
+}
+
+TEST(OptimalForkSchedule, IsOptimalAgainstBothCandidates) {
+  TaskGraph graph = make_fork(80.0, std::vector<double>{25.0, 10.0, 35.0});
+  graph.set_costs(0, 8.0, 5.0);
+  const FailureModel model(0.004, 2.0);
+  const Schedule schedule = optimal_fork_schedule(graph, model);
+  const ScheduleEvaluator evaluator(graph, model);
+  const double value = evaluator.evaluate(schedule).expected_makespan;
+  const ForkAnalysis analysis = analyze_fork(graph, model);
+  expect_rel_near(analysis.optimal_expected_makespan, value, 1e-9);
+  EXPECT_LE(value, analysis.expected_with_checkpoint * (1 + 1e-12));
+  EXPECT_LE(value, analysis.expected_without_checkpoint * (1 + 1e-12));
+}
+
+TEST(ForkAnalysis, RejectsNonForks) {
+  const TaskGraph chain = make_uniform_chain(3, 1.0);
+  EXPECT_THROW(analyze_fork(chain, FailureModel(0.01, 0.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,196 @@
+// Tests for the join-graph theory (Lemmas 1-2, Corollaries 1-2).
+#include "core/theory_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/evaluator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::assert_rel_near;
+using testing::expect_rel_near;
+
+TaskGraph random_join(Rng& rng, std::size_t sources, double cost_factor) {
+  std::vector<double> weights(sources);
+  for (double& w : weights) w = rng.uniform(5.0, 60.0);
+  TaskGraph graph = make_join(weights, rng.uniform(2.0, 20.0));
+  for (VertexId v = 0; v < graph.task_count(); ++v) {
+    const double c = cost_factor * graph.weight(v);
+    graph.set_costs(v, c, c);
+  }
+  return graph;
+}
+
+TEST(IsJoin, RecognizesJoins) {
+  VertexId sink = 0;
+  EXPECT_TRUE(is_join(make_join(std::vector<double>{1.0, 2.0}, 3.0).dag(), &sink));
+  EXPECT_EQ(sink, 2u);
+  EXPECT_TRUE(is_join(make_uniform_chain(2, 1.0).dag()));
+  EXPECT_FALSE(is_join(make_uniform_chain(3, 1.0).dag()));
+  EXPECT_FALSE(is_join(make_fork(1.0, std::vector<double>{1.0, 2.0}).dag()));
+}
+
+TEST(JoinGValue, MatchesLemma2Formula) {
+  TaskGraph graph = make_join(std::vector<double>{10.0}, 1.0);
+  graph.set_costs(0, 2.0, 3.0);
+  const FailureModel model(0.05, 0.0);
+  const double lambda = model.lambda();
+  const double expected = std::exp(-lambda * (10.0 + 2.0 + 3.0)) + std::exp(-lambda * 3.0) -
+                          std::exp(-lambda * (10.0 + 2.0));
+  expect_rel_near(expected, join_g_value(graph, model, 0), 1e-12);
+}
+
+// The closed form of Lemma 2 (as re-derived; the typeset Eq. (2) has
+// typos) must match the general Theorem-3 evaluator on the corresponding
+// schedule, for every partition.
+TEST(JoinExpectedTime, AgreesWithGeneralEvaluatorOnAllPartitions) {
+  Rng rng(4242);
+  for (int instance = 0; instance < 8; ++instance) {
+    const TaskGraph graph = random_join(rng, 5, 0.15);
+    const FailureModel model(rng.uniform(0.001, 0.02), (instance % 2) ? 0.0 : 2.5);
+    const ScheduleEvaluator evaluator(graph, model);
+    for (std::uint64_t mask = 0; mask < 32; ++mask) {
+      std::vector<VertexId> ckpt;
+      for (std::size_t b = 0; b < 5; ++b)
+        if (mask & (1ull << b)) ckpt.push_back(static_cast<VertexId>(b));
+      const double closed_form = join_expected_time(graph, model, ckpt);
+      const Schedule schedule = join_schedule(graph, model, ckpt);
+      const double general = evaluator.evaluate(schedule).expected_makespan;
+      assert_rel_near(general, closed_form, 1e-9, "join closed form vs evaluator");
+    }
+  }
+}
+
+TEST(JoinExpectedTime, FailureFreeCase) {
+  const TaskGraph graph = make_join(std::vector<double>{10.0, 20.0}, 5.0);
+  const FailureModel model(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(join_expected_time(graph, model, {}), 35.0);
+  EXPECT_DOUBLE_EQ(join_expected_time(graph, model, {0, 1}), 35.0);  // c = 0 by default
+}
+
+TEST(Lemma2Ordering, GSortBeatsOrEqualsEveryPermutation) {
+  // The g-descending order of the checkpointed set must minimize the
+  // expected time among all phase-1 orders. We brute-force permutations
+  // through the general evaluator on schedules ordered accordingly.
+  Rng rng(99);
+  const TaskGraph graph = random_join(rng, 4, 0.3);
+  const FailureModel model(0.02, 1.0);
+  const ScheduleEvaluator evaluator(graph, model);
+
+  const std::vector<VertexId> ckpt{0, 1, 2, 3};
+  const double lemma_value = join_expected_time(graph, model, ckpt);
+
+  std::vector<VertexId> perm = ckpt;
+  std::sort(perm.begin(), perm.end());
+  double best_permutation = std::numeric_limits<double>::infinity();
+  do {
+    // Phase 1 in this order, then the sink (no non-checkpointed sources).
+    std::vector<VertexId> order = perm;
+    order.push_back(4);
+    Schedule schedule(order, {1, 1, 1, 1, 0});
+    best_permutation =
+        std::min(best_permutation, evaluator.evaluate(schedule).expected_makespan);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  expect_rel_near(best_permutation, lemma_value, 1e-9,
+                  "g-ordering should achieve the best permutation value");
+}
+
+TEST(Corollary1, MatchesBruteForceWithUniformCosts) {
+  Rng rng(7);
+  for (int instance = 0; instance < 6; ++instance) {
+    std::vector<double> weights(7);
+    for (double& w : weights) w = rng.uniform(5.0, 80.0);
+    TaskGraph graph = make_join(weights, rng.uniform(1.0, 10.0));
+    graph.apply_cost_model(CostModel::constant(rng.uniform(0.5, 6.0)));
+    const FailureModel model(rng.uniform(0.002, 0.03), 0.0);
+
+    const JoinSolution fast = solve_join_equal_costs(graph, model);
+    const JoinSolution exact = solve_join_bruteforce(graph, model);
+    assert_rel_near(exact.expected_makespan, fast.expected_makespan, 1e-9,
+                    "Corollary 1 vs brute force");
+    EXPECT_NO_THROW(validate_schedule(graph, fast.schedule));
+  }
+}
+
+TEST(Corollary1, RequiresUniformCosts) {
+  TaskGraph graph = make_join(std::vector<double>{10.0, 20.0}, 5.0);
+  graph.set_costs(0, 1.0, 1.0);
+  graph.set_costs(1, 2.0, 2.0);
+  EXPECT_THROW(solve_join_equal_costs(graph, FailureModel(0.01, 0.0)), InvalidArgument);
+}
+
+TEST(Corollary2, ZeroRecoveryClosedForm) {
+  // With r = 0, Corollary 2's simple sum must match both the Lemma-2 form
+  // and the general evaluator.
+  TaskGraph graph = make_join(std::vector<double>{15.0, 25.0, 35.0}, 0.0);
+  for (VertexId v = 0; v < 3; ++v) graph.set_costs(v, 4.0, 0.0);
+  const FailureModel model(0.02, 0.0);
+  const ScheduleEvaluator evaluator(graph, model);
+  for (const std::vector<VertexId>& ckpt :
+       {std::vector<VertexId>{}, {0}, {0, 1}, {0, 1, 2}, {2}}) {
+    const double corollary = join_expected_time_zero_recovery(graph, model, ckpt);
+    const double lemma = join_expected_time(graph, model, ckpt);
+    const double general =
+        evaluator.evaluate(join_schedule(graph, model, ckpt)).expected_makespan;
+    expect_rel_near(corollary, lemma, 1e-9, "Corollary 2 vs Lemma 2");
+    expect_rel_near(corollary, general, 1e-9, "Corollary 2 vs evaluator");
+  }
+}
+
+TEST(Corollary2, RejectsNonZeroRecovery) {
+  TaskGraph graph = make_join(std::vector<double>{15.0, 25.0}, 0.0);
+  graph.set_costs(0, 4.0, 3.0);
+  EXPECT_THROW(join_expected_time_zero_recovery(graph, FailureModel(0.01, 0.0), {0}),
+               InvalidArgument);
+}
+
+TEST(JoinBruteForce, NeverWorseThanArbitraryPartitions) {
+  Rng rng(55);
+  const TaskGraph graph = random_join(rng, 6, 0.2);
+  const FailureModel model(0.015, 0.0);
+  const JoinSolution best = solve_join_bruteforce(graph, model);
+  for (int probe = 0; probe < 20; ++probe) {
+    std::vector<VertexId> ckpt;
+    for (VertexId v = 0; v < 6; ++v)
+      if (rng.bernoulli(0.5)) ckpt.push_back(v);
+    EXPECT_LE(best.expected_makespan,
+              join_expected_time(graph, model, ckpt) * (1.0 + 1e-12));
+  }
+}
+
+TEST(JoinSchedule, ShapeFollowsLemma1) {
+  Rng rng(21);
+  const TaskGraph graph = random_join(rng, 5, 0.1);
+  const FailureModel model(0.01, 0.0);
+  const std::vector<VertexId> ckpt{1, 3, 4};
+  const Schedule schedule = join_schedule(graph, model, ckpt);
+  EXPECT_NO_THROW(validate_schedule(graph, schedule));
+  // Checkpointed sources first, then the rest, sink last.
+  EXPECT_EQ(schedule.order.size(), 6u);
+  EXPECT_EQ(schedule.order.back(), 5u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(schedule.is_checkpointed(schedule.order[i]));
+  for (std::size_t i = 3; i < 5; ++i) EXPECT_FALSE(schedule.is_checkpointed(schedule.order[i]));
+  // And they are g-sorted (non-increasing).
+  for (std::size_t i = 0; i + 1 < 3; ++i) {
+    EXPECT_GE(join_g_value(graph, model, schedule.order[i]),
+              join_g_value(graph, model, schedule.order[i + 1]) - 1e-12);
+  }
+}
+
+TEST(JoinRoutines, RejectNonJoins) {
+  const TaskGraph fork = make_fork(1.0, std::vector<double>{1.0, 2.0});
+  const FailureModel model(0.01, 0.0);
+  EXPECT_THROW(join_expected_time(fork, model, {}), InvalidArgument);
+  EXPECT_THROW(solve_join_bruteforce(fork, model), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -1,0 +1,97 @@
+// Tests for the thread pool and parallel_for helpers.
+#include "support/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), InvalidArgument); }
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallel_for(5, 6, [&](std::size_t i) { EXPECT_EQ(i, 5u); ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SerialFallbackMatchesParallel) {
+  const std::size_t n = 1000;
+  std::vector<double> serial(n);
+  std::vector<double> parallel(n);
+  const auto body = [](std::size_t i) { return static_cast<double>(i * i % 97); };
+  parallel_for(0, n, [&](std::size_t i) { serial[i] = body(i); }, 1);
+  parallel_for(0, n, [&](std::size_t i) { parallel[i] = body(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(0, 1000,
+                   [](std::size_t i) {
+                     if (i == 500) throw std::runtime_error("index 500");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelForWorkers, WorkerIdsAreInRange) {
+  const std::size_t threads = 4;
+  std::atomic<bool> ok{true};
+  parallel_for_workers(
+      0, 5000,
+      [&](std::size_t, std::size_t worker) {
+        if (worker >= threads) ok.store(false);
+      },
+      threads);
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ParallelForWorkers, DisjointAccumulatorsSumCorrectly) {
+  const std::size_t threads = 6;
+  const std::size_t n = 20000;
+  std::vector<std::uint64_t> partial(threads, 0);
+  parallel_for_workers(
+      0, n, [&](std::size_t i, std::size_t worker) { partial[worker] += i; }, threads);
+  const std::uint64_t total = std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace fpsched
