@@ -1,13 +1,10 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <fstream>
-#include <iostream>
+#include <filesystem>
+#include <ostream>
 
-#include "support/ascii_plot.hpp"
 #include "support/error.hpp"
-#include "support/table.hpp"
 
 namespace fpsched::bench {
 
@@ -18,16 +15,25 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   cli.add_option("seed", "42", "workflow generation seed");
   cli.add_option("weight-cv", "0.2", "coefficient of variation of task weights");
   cli.add_option("csv", "", "directory for CSV output (created files: <figure>.csv)");
+  cli.add_option("threads", "0", "scenario-shard worker threads (0 = all cores)");
   cli.add_flag("quick", "small grid + strided sweep for a fast smoke run");
   if (!cli.parse(argc, argv)) return std::nullopt;
 
   FigureOptions options;
   options.sizes.clear();
-  for (const auto s : cli.get_int_list("sizes")) options.sizes.push_back(static_cast<std::size_t>(s));
-  options.stride = static_cast<std::size_t>(cli.get_int("stride"));
+  for (const auto s : cli.get_int_list("sizes")) {
+    if (s < 1) throw InvalidArgument("option --sizes: task counts must be >= 1");
+    options.sizes.push_back(static_cast<std::size_t>(s));
+  }
+  options.stride = cli.get_count("stride", 1);
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   options.weight_cv = cli.get_double("weight-cv");
   options.csv_dir = cli.get_string("csv");
+  // Fail before computing a possibly hours-long grid, not after.
+  if (!options.csv_dir.empty() && !std::filesystem::is_directory(options.csv_dir)) {
+    throw InvalidArgument("option --csv: '" + options.csv_dir + "' is not a directory");
+  }
+  options.threads = cli.get_count("threads");
   if (cli.get_flag("quick")) {
     options.sizes = {50, 100, 200, 300};
     options.stride = std::max<std::size_t>(options.stride, 4);
@@ -35,80 +41,108 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   return options;
 }
 
-void emit_panel(std::ostream& os, const FigurePanel& panel, const FigureOptions& options,
-                const std::string& slug) {
-  os << "\n=== " << panel.title << " ===\n";
-  std::vector<std::string> headers{panel.x_label};
-  for (const auto& series : panel.series) headers.push_back(series.name);
-  Table table(headers);
-  for (std::size_t i = 0; i < panel.xs.size(); ++i) {
-    std::vector<std::string> row;
-    row.push_back(panel.x_label == "lambda" ? format_double(panel.xs[i], 6)
-                                            : std::to_string(static_cast<long long>(panel.xs[i])));
-    for (const auto& series : panel.series) row.push_back(format_double(series.ratios[i], 4));
-    table.add_row(std::move(row));
-  }
-  table.print(os);
-
-  // Chart: clip runaway series (e.g. CkptNvr on Genome) so the contenders
-  // stay readable; the table above keeps the exact values.
-  std::vector<double> finite;
-  for (const auto& series : panel.series)
-    for (const double r : series.ratios)
-      if (std::isfinite(r)) finite.push_back(r);
-  if (!finite.empty()) {
-    std::sort(finite.begin(), finite.end());
-    const double cap = std::max(finite[finite.size() / 2] * 3.0, finite.front() * 1.5);
-    bool clipped = false;
-    AsciiChart chart("T / T_inf (chart clipped at " + format_double(cap, 2) + ")", 72, 18);
-    chart.set_x_label(panel.x_label);
-    chart.set_y_label("T / T_inf");
-    for (const auto& series : panel.series) {
-      PlotSeries plot{series.name, panel.xs, series.ratios};
-      for (double& y : plot.ys) {
-        if (!std::isfinite(y) || y > cap) {
-          y = cap;
-          clipped = true;
-        }
-      }
-      chart.add_series(std::move(plot));
-    }
-    chart.print(os);
-    if (clipped) os << "  (some points exceed the chart cap; see the table for exact values)\n";
-  }
-
-  if (!options.csv_dir.empty()) {
-    const std::string path = options.csv_dir + "/" + slug + ".csv";
-    std::ofstream csv(path);
-    if (!csv.good()) throw InvalidArgument("cannot open " + path + " for writing");
-    table.to_csv(csv);
-    os << "  [csv written to " << path << "]\n";
-  }
+engine::ExperimentEngine make_engine(const FigureOptions& options) {
+  return engine::ExperimentEngine({.threads = options.threads});
 }
 
-double heuristic_ratio(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
-                       std::size_t stride) {
-  HeuristicOptions options;
-  options.sweep.stride = stride;
-  return run_heuristic(evaluator, spec, options).evaluation.ratio;
+namespace {
+
+/// The shared grid knobs every panel inherits from the CLI.
+engine::ScenarioGrid base_grid(WorkflowKind kind, const CostModel& cost_model,
+                               const FigureOptions& options) {
+  engine::ScenarioGrid grid;
+  grid.workflows = {kind};
+  grid.sizes = options.sizes;
+  grid.cost_model = cost_model;
+  grid.seed = options.seed;
+  grid.weight_cv = options.weight_cv;
+  grid.stride = options.stride;
+  return grid;
 }
 
-double best_linearization_ratio(const ScheduleEvaluator& evaluator, CkptStrategy strategy,
-                                std::size_t stride, LinearizeMethod* chosen) {
-  // CkptNvr / CkptAlws are defined with the DF linearization only (§5).
-  if (!is_budgeted(strategy)) {
-    if (chosen) *chosen = LinearizeMethod::depth_first;
-    return heuristic_ratio(evaluator, {LinearizeMethod::depth_first, strategy}, stride);
-  }
-  double best = std::numeric_limits<double>::infinity();
+std::vector<engine::ScenarioPolicy> best_lin_policies() {
+  std::vector<engine::ScenarioPolicy> policies;
+  for (const CkptStrategy strategy : all_ckpt_strategies())
+    policies.push_back(engine::ScenarioPolicy::best_lin(strategy));
+  return policies;
+}
+
+}  // namespace
+
+engine::ScenarioGrid linearization_grid(WorkflowKind kind, double lambda,
+                                        const CostModel& cost_model,
+                                        const FigureOptions& options) {
+  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
+  grid.lambdas = {lambda};
   for (const LinearizeMethod lin : all_linearize_methods()) {
-    const double ratio = heuristic_ratio(evaluator, {lin, strategy}, stride);
-    if (ratio < best) {
-      best = ratio;
-      if (chosen) *chosen = lin;
+    for (const CkptStrategy strategy : {CkptStrategy::by_weight, CkptStrategy::by_cost}) {
+      grid.policies.push_back(engine::ScenarioPolicy::fixed({lin, strategy}));
     }
   }
-  return best;
+  return grid;
+}
+
+engine::ScenarioGrid strategy_grid(WorkflowKind kind, double lambda, const CostModel& cost_model,
+                                   const FigureOptions& options) {
+  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
+  grid.lambdas = {lambda};
+  grid.policies = best_lin_policies();
+  return grid;
+}
+
+engine::ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
+                                       const std::vector<double>& lambdas,
+                                       const CostModel& cost_model,
+                                       const FigureOptions& options) {
+  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
+  grid.sizes = {size};
+  grid.lambdas = lambdas;
+  grid.axis = engine::GridAxis::lambda;
+  grid.policies = best_lin_policies();
+  return grid;
+}
+
+std::string panel_title(WorkflowKind kind, const std::string& subtitle) {
+  return to_string(kind) + ": " + subtitle;
+}
+
+std::string best_lin_panel_title(WorkflowKind kind, const std::string& subtitle) {
+  return to_string(kind) + ": " + subtitle + " (best linearization per strategy)";
+}
+
+void emit_panel(std::ostream& os, const engine::Panel& panel, const FigureOptions& options,
+                const std::string& slug) {
+  engine::TableSink table(os);
+  table.emit(panel, slug);
+  engine::AsciiChartSink chart(os);
+  chart.emit(panel, slug);
+  if (!options.csv_dir.empty()) {
+    engine::CsvSink csv(options.csv_dir, &os);
+    csv.emit(panel, slug);
+  }
+}
+
+void run_figure(std::ostream& os, std::span<const PanelSpec> panels,
+                const FigureOptions& options) {
+  // Flatten every panel's grid into one list so the whole figure shards
+  // across the engine's workers as a single batch.
+  std::vector<engine::ScenarioSpec> specs;
+  std::vector<std::size_t> offsets;
+  for (const PanelSpec& panel : panels) {
+    offsets.push_back(specs.size());
+    const std::vector<engine::ScenarioSpec> grid_specs = panel.grid.enumerate();
+    specs.insert(specs.end(), grid_specs.begin(), grid_specs.end());
+  }
+
+  const engine::ExperimentEngine eng = make_engine(options);
+  const std::vector<engine::ScenarioResult> results = eng.run(specs);
+
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    const PanelSpec& panel = panels[i];
+    const std::span<const engine::ScenarioResult> slice(results.data() + offsets[i],
+                                                        panel.grid.scenario_count());
+    emit_panel(os, engine::assemble_panel(panel.grid, slice, panel.title), options, panel.slug);
+  }
 }
 
 TaskGraph make_instance(WorkflowKind kind, std::size_t size, const CostModel& cost_model,
@@ -119,72 +153,6 @@ TaskGraph make_instance(WorkflowKind kind, std::size_t size, const CostModel& co
   config.weight_cv = options.weight_cv;
   config.cost_model = cost_model;
   return generate_workflow(kind, config);
-}
-
-FigurePanel linearization_panel(WorkflowKind kind, double lambda, const CostModel& cost_model,
-                                const std::string& subtitle, const FigureOptions& options) {
-  FigurePanel panel;
-  panel.title = to_string(kind) + ": " + subtitle;
-  panel.x_label = "number of tasks";
-  for (const LinearizeMethod lin : all_linearize_methods()) {
-    for (const CkptStrategy strategy : {CkptStrategy::by_weight, CkptStrategy::by_cost}) {
-      panel.series.push_back({to_string(lin) + "-" + to_string(strategy), {}});
-    }
-  }
-  for (const std::size_t size : options.sizes) {
-    panel.xs.push_back(static_cast<double>(size));
-    const TaskGraph graph = make_instance(kind, size, cost_model, options);
-    const ScheduleEvaluator evaluator(graph, FailureModel(lambda, 0.0));
-    std::size_t slot = 0;
-    for (const LinearizeMethod lin : all_linearize_methods()) {
-      for (const CkptStrategy strategy : {CkptStrategy::by_weight, CkptStrategy::by_cost}) {
-        panel.series[slot++].ratios.push_back(
-            heuristic_ratio(evaluator, {lin, strategy}, options.stride));
-      }
-    }
-  }
-  return panel;
-}
-
-FigurePanel strategy_panel(WorkflowKind kind, double lambda, const CostModel& cost_model,
-                           const std::string& subtitle, const FigureOptions& options) {
-  FigurePanel panel;
-  panel.title = to_string(kind) + ": " + subtitle + " (best linearization per strategy)";
-  panel.x_label = "number of tasks";
-  for (const CkptStrategy strategy : all_ckpt_strategies())
-    panel.series.push_back({to_string(strategy), {}});
-  for (const std::size_t size : options.sizes) {
-    panel.xs.push_back(static_cast<double>(size));
-    const TaskGraph graph = make_instance(kind, size, cost_model, options);
-    const ScheduleEvaluator evaluator(graph, FailureModel(lambda, 0.0));
-    std::size_t slot = 0;
-    for (const CkptStrategy strategy : all_ckpt_strategies()) {
-      panel.series[slot++].ratios.push_back(
-          best_linearization_ratio(evaluator, strategy, options.stride));
-    }
-  }
-  return panel;
-}
-
-FigurePanel lambda_sweep_panel(WorkflowKind kind, std::size_t size,
-                               const std::vector<double>& lambdas, const CostModel& cost_model,
-                               const std::string& subtitle, const FigureOptions& options) {
-  FigurePanel panel;
-  panel.title = to_string(kind) + ": " + subtitle + " (best linearization per strategy)";
-  panel.x_label = "lambda";
-  for (const CkptStrategy strategy : all_ckpt_strategies())
-    panel.series.push_back({to_string(strategy), {}});
-  const TaskGraph graph = make_instance(kind, size, cost_model, options);
-  for (const double lambda : lambdas) {
-    panel.xs.push_back(lambda);
-    const ScheduleEvaluator evaluator(graph, FailureModel(lambda, 0.0));
-    std::size_t slot = 0;
-    for (const CkptStrategy strategy : all_ckpt_strategies()) {
-      panel.series[slot++].ratios.push_back(
-          best_linearization_ratio(evaluator, strategy, options.stride));
-    }
-  }
-  return panel;
 }
 
 }  // namespace fpsched::bench

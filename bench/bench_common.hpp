@@ -1,19 +1,26 @@
-// Shared harness for the figure-reproduction benches.
+// Shared harness for the figure-reproduction benches — a thin adapter
+// over the experiment engine.
 //
-// Every figure binary follows the same pattern: sweep workflow sizes (or
-// failure rates), run a set of heuristics per point, and report the
-// paper's metric T / T_inf as a table, an ASCII chart, and optionally a
-// CSV file. `--quick` shrinks the grid for smoke runs; the default
-// reproduces the paper's full grid (sizes 50-700, exhaustive N-sweep).
+// Every figure binary declares its panels as ScenarioGrids; run_figure()
+// flattens all of them into one scenario list, shards it across the
+// engine's workers, and emits each panel through the configured result
+// sinks (table + ASCII chart, plus CSV when requested). `--quick` shrinks
+// the grid for smoke runs; the default reproduces the paper's full grid
+// (sizes 50-700, exhaustive N-sweep). `--threads` controls the scenario
+// sharding (0 = all cores); results are identical for any thread count.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "engine/engine.hpp"
+#include "engine/result_sink.hpp"
+#include "engine/scenario.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/cli.hpp"
 #include "workflows/generator.hpp"
@@ -25,58 +32,59 @@ struct FigureOptions {
   std::size_t stride = 1;   // N-sweep stride (1 = exhaustive, as the paper)
   std::uint64_t seed = 42;  // workflow generation seed
   double weight_cv = 0.2;
-  std::string csv_dir;      // empty = no CSV output
+  std::string csv_dir;       // empty = no CSV output
+  std::size_t threads = 0;   // scenario-shard workers; 0 = all cores
 };
 
 /// Registers the shared options on `cli`, parses, and converts. Returns
-/// nullopt when --help was requested.
+/// nullopt when --help was requested. Rejects malformed values
+/// (e.g. --stride 0) with a clear error.
 std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc, const char* const* argv);
 
-/// One plotted line: a heuristic's ratio per x-grid point.
-struct RatioSeries {
-  std::string name;
-  std::vector<double> ratios;
+/// Engine configured from the shared options.
+engine::ExperimentEngine make_engine(const FigureOptions& options);
+
+/// One declared figure panel: the scenario grid plus presentation.
+struct PanelSpec {
+  engine::ScenarioGrid grid;
+  std::string title;  // e.g. "CyberShake: lambda=0.001, c=0.1w  [paper fig. 2a]"
+  std::string slug;   // CSV file stem, e.g. "fig2a_cybershake"
 };
 
-struct FigurePanel {
-  std::string title;            // e.g. "(a) CyberShake: lambda=1e-3, c=0.1w"
-  std::string x_label;          // "number of tasks" or "lambda"
-  std::vector<double> xs;       // grid
-  std::vector<RatioSeries> series;
-};
+/// Runs every panel's scenarios through ONE sharded engine pass (so the
+/// whole figure, not just each panel, load-balances across workers) and
+/// emits the panels in order through the sinks.
+void run_figure(std::ostream& os, std::span<const PanelSpec> panels, const FigureOptions& options);
 
-/// Prints the panel as a table + ASCII chart; writes `<csv_dir>/<slug>.csv`
-/// when a CSV directory is configured.
-void emit_panel(std::ostream& os, const FigurePanel& panel, const FigureOptions& options,
+/// Emits one assembled panel through the standard sinks (table, chart,
+/// CSV when configured).
+void emit_panel(std::ostream& os, const engine::Panel& panel, const FigureOptions& options,
                 const std::string& slug);
 
-/// Ratio of one heuristic on one generated workflow (exhaustive or strided
-/// N-sweep under the hood). Returns the evaluation ratio T / T_inf.
-double heuristic_ratio(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
-                       std::size_t stride);
+/// Grid of Figures 2 and 4: the six BF/DF/RF x CkptW/CkptC fixed series
+/// over the size axis.
+engine::ScenarioGrid linearization_grid(WorkflowKind kind, double lambda,
+                                        const CostModel& cost_model, const FigureOptions& options);
 
-/// Best ratio over the three linearizations for a checkpoint strategy
-/// (the selection rule of Figures 3 and 5-7); reports the winning
-/// linearization through `chosen` when non-null.
-double best_linearization_ratio(const ScheduleEvaluator& evaluator, CkptStrategy strategy,
-                                std::size_t stride, LinearizeMethod* chosen = nullptr);
+/// Grid of Figures 3, 5 and 6: every checkpoint strategy with its best
+/// linearization, over the size axis.
+engine::ScenarioGrid strategy_grid(WorkflowKind kind, double lambda, const CostModel& cost_model,
+                                   const FigureOptions& options);
 
-/// Generates the paper's workflow instance for a size (cost model applied).
+/// Grid of Figure 7: fixed size, best-linearization strategies over a
+/// lambda axis.
+engine::ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
+                                       const std::vector<double>& lambdas,
+                                       const CostModel& cost_model, const FigureOptions& options);
+
+/// Panel titles matching the paper's figure captions.
+std::string panel_title(WorkflowKind kind, const std::string& subtitle);
+std::string best_lin_panel_title(WorkflowKind kind, const std::string& subtitle);
+
+/// Generates the paper's workflow instance for a size (cost model
+/// applied). tests/engine_test.cpp replicates this convention (seed +
+/// size) as its serial reference, so the engine stays pinned to it.
 TaskGraph make_instance(WorkflowKind kind, std::size_t size, const CostModel& cost_model,
                         const FigureOptions& options);
-
-/// The "BF DF RF x CkptW CkptC" six-series panel of Figures 2 and 4.
-FigurePanel linearization_panel(WorkflowKind kind, double lambda, const CostModel& cost_model,
-                                const std::string& subtitle, const FigureOptions& options);
-
-/// The "six checkpoint strategies, best linearization" panel of Figures 3,
-/// 5 and 6.
-FigurePanel strategy_panel(WorkflowKind kind, double lambda, const CostModel& cost_model,
-                           const std::string& subtitle, const FigureOptions& options);
-
-/// The Figure-7 panel: fixed size, ratio vs failure rate.
-FigurePanel lambda_sweep_panel(WorkflowKind kind, std::size_t size,
-                               const std::vector<double>& lambdas, const CostModel& cost_model,
-                               const std::string& subtitle, const FigureOptions& options);
 
 }  // namespace fpsched::bench

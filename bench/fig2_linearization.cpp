@@ -21,18 +21,17 @@ int main(int argc, char** argv) {
     std::cout << "Figure 2 — impact of the linearization strategy (c_i = r_i = 0.1 w_i)\n";
 
     const CostModel cost = CostModel::proportional(0.1);
-    emit_panel(std::cout,
-               linearization_panel(WorkflowKind::cybershake, 1e-3, cost,
-                                   "lambda=0.001, c=0.1w  [paper fig. 2a]", *options),
-               *options, "fig2a_cybershake");
-    emit_panel(std::cout,
-               linearization_panel(WorkflowKind::ligo, 1e-3, cost,
-                                   "lambda=0.001, c=0.1w  [paper fig. 2b]", *options),
-               *options, "fig2b_ligo");
-    emit_panel(std::cout,
-               linearization_panel(WorkflowKind::genome, 1e-4, cost,
-                                   "lambda=0.0001, c=0.1w  [paper fig. 2c]", *options),
-               *options, "fig2c_genome");
+    const std::vector<PanelSpec> panels{
+        {linearization_grid(WorkflowKind::cybershake, 1e-3, cost, *options),
+         panel_title(WorkflowKind::cybershake, "lambda=0.001, c=0.1w  [paper fig. 2a]"),
+         "fig2a_cybershake"},
+        {linearization_grid(WorkflowKind::ligo, 1e-3, cost, *options),
+         panel_title(WorkflowKind::ligo, "lambda=0.001, c=0.1w  [paper fig. 2b]"), "fig2b_ligo"},
+        {linearization_grid(WorkflowKind::genome, 1e-4, cost, *options),
+         panel_title(WorkflowKind::genome, "lambda=0.0001, c=0.1w  [paper fig. 2c]"),
+         "fig2c_genome"},
+    };
+    run_figure(std::cout, panels, *options);
     std::cout << "\nPaper's observations to compare against: DF is (almost) always the best\n"
                  "linearization; on Ligo, RF beats BF because RF often behaves like DF.\n";
   } catch (const Error& e) {

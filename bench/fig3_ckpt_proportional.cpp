@@ -26,15 +26,17 @@ int main(int argc, char** argv) {
     const char* labels[] = {"fig3a_montage", "fig3b_ligo", "fig3c_cybershake", "fig3d_genome"};
     const WorkflowKind kinds[] = {WorkflowKind::montage, WorkflowKind::ligo,
                                   WorkflowKind::cybershake, WorkflowKind::genome};
+    std::vector<PanelSpec> panels;
     for (std::size_t i = 0; i < 4; ++i) {
       const double lambda = paper_lambda(kinds[i]);
-      emit_panel(std::cout,
-                 strategy_panel(kinds[i], lambda, cost,
-                                "lambda=" + format_double(lambda, 4) + ", c=0.1w  [paper fig. 3" +
-                                    std::string(1, static_cast<char>('a' + i)) + "]",
-                                *options),
-                 *options, labels[i]);
+      panels.push_back(
+          {strategy_grid(kinds[i], lambda, cost, *options),
+           best_lin_panel_title(kinds[i], "lambda=" + format_double(lambda, 4) +
+                                              ", c=0.1w  [paper fig. 3" +
+                                              std::string(1, static_cast<char>('a' + i)) + "]"),
+           labels[i]});
     }
+    run_figure(std::cout, panels, *options);
     std::cout << "\nPaper's observations to compare against: CkptW best on Montage, Ligo and\n"
                  "Genome; CkptC best on CyberShake; CkptPer ignores the DAG structure and\n"
                  "trails the structure-aware strategies; all strategies beat CkptNvr.\n";

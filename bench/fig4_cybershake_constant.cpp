@@ -21,18 +21,16 @@ int main(int argc, char** argv) {
     if (!options) return 0;
     std::cout << "Figure 4 — CyberShake, linearization impact under constant checkpoints\n";
 
-    emit_panel(std::cout,
-               linearization_panel(WorkflowKind::cybershake, 1e-3, CostModel::constant(10.0),
-                                   "lambda=0.001, c=10s  [paper fig. 4a]", *options),
-               *options, "fig4a_cybershake_c10");
-    emit_panel(std::cout,
-               linearization_panel(WorkflowKind::cybershake, 1e-3, CostModel::constant(5.0),
-                                   "lambda=0.001, c=5s  [paper fig. 4b]", *options),
-               *options, "fig4b_cybershake_c5");
-    emit_panel(std::cout,
-               linearization_panel(WorkflowKind::cybershake, 1e-3, CostModel::proportional(0.01),
-                                   "lambda=0.001, c=0.01w  [paper fig. 4c]", *options),
-               *options, "fig4c_cybershake_c001w");
+    const WorkflowKind kind = WorkflowKind::cybershake;
+    const std::vector<PanelSpec> panels{
+        {linearization_grid(kind, 1e-3, CostModel::constant(10.0), *options),
+         panel_title(kind, "lambda=0.001, c=10s  [paper fig. 4a]"), "fig4a_cybershake_c10"},
+        {linearization_grid(kind, 1e-3, CostModel::constant(5.0), *options),
+         panel_title(kind, "lambda=0.001, c=5s  [paper fig. 4b]"), "fig4b_cybershake_c5"},
+        {linearization_grid(kind, 1e-3, CostModel::proportional(0.01), *options),
+         panel_title(kind, "lambda=0.001, c=0.01w  [paper fig. 4c]"), "fig4c_cybershake_c001w"},
+    };
+    run_figure(std::cout, panels, *options);
     std::cout << "\nPaper's observation to compare against: with a constant checkpoint cost,\n"
                  "CkptW behaves as well as CkptC on CyberShake (cf. fig. 2a where the\n"
                  "proportional cost separated them).\n";

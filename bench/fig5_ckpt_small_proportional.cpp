@@ -25,15 +25,17 @@ int main(int argc, char** argv) {
     const char* labels[] = {"fig5a_montage", "fig5b_ligo", "fig5c_cybershake", "fig5d_genome"};
     const WorkflowKind kinds[] = {WorkflowKind::montage, WorkflowKind::ligo,
                                   WorkflowKind::cybershake, WorkflowKind::genome};
+    std::vector<PanelSpec> panels;
     for (std::size_t i = 0; i < 4; ++i) {
       const double lambda = paper_lambda(kinds[i]);
-      emit_panel(std::cout,
-                 strategy_panel(kinds[i], lambda, cost,
-                                "lambda=" + format_double(lambda, 4) + ", c=0.01w  [paper fig. 5" +
-                                    std::string(1, static_cast<char>('a' + i)) + "]",
-                                *options),
-                 *options, labels[i]);
+      panels.push_back(
+          {strategy_grid(kinds[i], lambda, cost, *options),
+           best_lin_panel_title(kinds[i], "lambda=" + format_double(lambda, 4) +
+                                              ", c=0.01w  [paper fig. 5" +
+                                              std::string(1, static_cast<char>('a' + i)) + "]"),
+           labels[i]});
     }
+    run_figure(std::cout, panels, *options);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

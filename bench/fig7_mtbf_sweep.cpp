@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   try {
     const auto options = parse_figure_options(cli, argc, argv);
     if (!options) return 0;
-    const std::size_t size = 200;
+    const std::size_t size = cli.get_count("tasks", 1);
     std::cout << "Figure 7 — checkpointing strategies vs failure rate (" << size
               << " tasks, c_i = r_i = 0.1 w_i)\n";
 
@@ -29,22 +29,18 @@ int main(int argc, char** argv) {
     const std::vector<double> common{1e-4, 2.5e-4, 3.8e-4, 5.2e-4, 6.6e-4, 8e-4, 9.3e-4};
     const std::vector<double> genome{1e-6, 5e-5, 9e-5, 1.4e-4, 1.8e-4, 2.3e-4, 2.7e-4};
 
-    emit_panel(std::cout,
-               lambda_sweep_panel(WorkflowKind::montage, size, common, cost,
-                                  "200 tasks, c=0.1w  [paper fig. 7a]", *options),
-               *options, "fig7a_montage");
-    emit_panel(std::cout,
-               lambda_sweep_panel(WorkflowKind::ligo, size, common, cost,
-                                  "200 tasks, c=0.1w  [paper fig. 7b]", *options),
-               *options, "fig7b_ligo");
-    emit_panel(std::cout,
-               lambda_sweep_panel(WorkflowKind::cybershake, size, common, cost,
-                                  "200 tasks, c=0.1w  [paper fig. 7c]", *options),
-               *options, "fig7c_cybershake");
-    emit_panel(std::cout,
-               lambda_sweep_panel(WorkflowKind::genome, size, genome, cost,
-                                  "200 tasks, c=0.1w  [paper fig. 7d]", *options),
-               *options, "fig7d_genome");
+    const std::string tasks = std::to_string(size) + " tasks, c=0.1w  [paper fig. 7";
+    const std::vector<PanelSpec> panels{
+        {lambda_sweep_grid(WorkflowKind::montage, size, common, cost, *options),
+         best_lin_panel_title(WorkflowKind::montage, tasks + "a]"), "fig7a_montage"},
+        {lambda_sweep_grid(WorkflowKind::ligo, size, common, cost, *options),
+         best_lin_panel_title(WorkflowKind::ligo, tasks + "b]"), "fig7b_ligo"},
+        {lambda_sweep_grid(WorkflowKind::cybershake, size, common, cost, *options),
+         best_lin_panel_title(WorkflowKind::cybershake, tasks + "c]"), "fig7c_cybershake"},
+        {lambda_sweep_grid(WorkflowKind::genome, size, genome, cost, *options),
+         best_lin_panel_title(WorkflowKind::genome, tasks + "d]"), "fig7d_genome"},
+    };
+    run_figure(std::cout, panels, *options);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -10,47 +10,64 @@
 //  * medium chains — DP optimum;
 //  * fixed-order subsets at n = 16 — optimum over checkpoint sets for the
 //    DF order.
+//
+// Instances are drawn serially (fixed RNG order); the studies — exact
+// search, 14-heuristic run, greedy — are sharded across the experiment
+// engine's workers and reported in instance order.
 #include <iostream>
 
-#include "bench_common.hpp"
 #include "core/exact_solver.hpp"
 #include "core/theory_chain.hpp"
+#include "engine/engine.hpp"
 #include "heuristics/greedy.hpp"
+#include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "workflows/synthetic.hpp"
 
 using namespace fpsched;
-using namespace fpsched::bench;
 
 namespace {
 
-struct Row {
+struct StudySpec {
   std::string instance;
-  double optimum;
-  double best14;
-  std::string best14_name;
-  double greedy;
+  TaskGraph graph;
+  FailureModel model{1e-3, 0.0};
+  bool full_search = false;
+  bool chain_dp_optimum = false;
 };
 
-Row study(const std::string& name, const TaskGraph& graph, const FailureModel& model,
-          bool full_search) {
-  const ScheduleEvaluator evaluator(graph, model);
+struct Row {
+  double optimum = 0.0;
+  double best14 = 0.0;
+  std::string best14_name;
+  double greedy = 0.0;
+};
+
+Row study(const StudySpec& spec, EvaluatorWorkspace& ws, const engine::ExperimentEngine& eng) {
+  const ScheduleEvaluator evaluator(spec.graph, spec.model);
+  ExactSolverOptions exact_options;
+  exact_options.threads = eng.inner_threads();
   Row row;
-  row.instance = name;
-  if (full_search) {
-    row.optimum = solve_exact(evaluator).expected_makespan;
+  if (spec.chain_dp_optimum) {
+    // For chains the DP gives the true optimum over checkpoint sets.
+    row.optimum = solve_chain_optimal(spec.graph, spec.model).expected_makespan;
+  } else if (spec.full_search) {
+    row.optimum = solve_exact(evaluator, exact_options).expected_makespan;
   } else {
-    const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
-    row.optimum = solve_exact_fixed_order(evaluator, order).expected_makespan;
+    const auto order =
+        linearize(spec.graph.dag(), spec.graph.weights(), LinearizeMethod::depth_first);
+    row.optimum = solve_exact_fixed_order(evaluator, order, exact_options).expected_makespan;
   }
-  const auto results = run_heuristics(evaluator, all_heuristics());
+  const auto results = run_heuristics(evaluator, all_heuristics(), eng.worker_options(ws));
   const HeuristicResult& best = results[best_result_index(results)];
   row.best14 = best.evaluation.expected_makespan;
   row.best14_name = best.spec.name();
-  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
-  row.greedy = greedy_checkpoint_search(evaluator, order).expected_makespan;
+  const auto order =
+      linearize(spec.graph.dag(), spec.graph.weights(), LinearizeMethod::depth_first);
+  row.greedy = greedy_checkpoint_search(evaluator, order, {.threads = eng.inner_threads()})
+                   .expected_makespan;
   return row;
 }
 
@@ -59,51 +76,72 @@ Row study(const std::string& name, const TaskGraph& graph, const FailureModel& m
 int main(int argc, char** argv) {
   CliParser cli("Optimality gap of the heuristics on exhaustively solvable instances.");
   cli.add_option("seed", "11", "instance randomization seed");
+  cli.add_option("threads", "0", "study-shard worker threads (0 = all cores)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
 
-    std::vector<Row> rows;
+    std::vector<StudySpec> specs;
     {
-      TaskGraph graph = make_paper_figure1(25.0);
-      graph.apply_cost_model(CostModel::proportional(0.15));
-      rows.push_back(study("figure-1 (8 tasks, full)", graph, FailureModel(4e-3, 0.0), true));
+      StudySpec spec;
+      spec.instance = "figure-1 (8 tasks, full)";
+      spec.graph = make_paper_figure1(25.0);
+      spec.graph.apply_cost_model(CostModel::proportional(0.15));
+      spec.model = FailureModel(4e-3, 0.0);
+      spec.full_search = true;
+      specs.push_back(std::move(spec));
     }
     {
-      TaskGraph graph = make_fork_join(2, 3, 30.0);
-      graph.apply_cost_model(CostModel::proportional(0.1));
-      rows.push_back(study("fork-join 2x3 (8 tasks, full)", graph, FailureModel(3e-3, 0.0), true));
+      StudySpec spec;
+      spec.instance = "fork-join 2x3 (8 tasks, full)";
+      spec.graph = make_fork_join(2, 3, 30.0);
+      spec.graph.apply_cost_model(CostModel::proportional(0.1));
+      spec.model = FailureModel(3e-3, 0.0);
+      spec.full_search = true;
+      specs.push_back(std::move(spec));
     }
     for (int i = 0; i < 2; ++i) {
-      TaskGraph graph = make_layered_random(
+      StudySpec spec;
+      spec.instance = "layered random #" + std::to_string(i) + " (9 tasks, full)";
+      spec.graph = make_layered_random(
           {.task_count = 9, .layer_count = 3, .mean_weight = 35.0, .seed = rng()});
-      graph.apply_cost_model(CostModel::proportional(0.12));
-      rows.push_back(study("layered random #" + std::to_string(i) + " (9 tasks, full)", graph,
-                           FailureModel(rng.uniform(2e-3, 6e-3), 0.0), true));
+      spec.graph.apply_cost_model(CostModel::proportional(0.12));
+      spec.model = FailureModel(rng.uniform(2e-3, 6e-3), 0.0);
+      spec.full_search = true;
+      specs.push_back(std::move(spec));
     }
     {
+      StudySpec spec;
+      spec.instance = "chain (16 tasks, DP optimum)";
       std::vector<double> weights(16);
       for (double& w : weights) w = rng.uniform(10.0, 90.0);
-      TaskGraph graph = make_chain(weights);
-      graph.apply_cost_model(CostModel::proportional(0.1));
-      const FailureModel model(3e-3, 0.0);
-      // For chains the DP gives the true optimum over checkpoint sets.
-      Row row = study("chain (16 tasks, DP optimum)", graph, model, false);
-      row.optimum = solve_chain_optimal(graph, model).expected_makespan;
-      rows.push_back(row);
+      spec.graph = make_chain(weights);
+      spec.graph.apply_cost_model(CostModel::proportional(0.1));
+      spec.model = FailureModel(3e-3, 0.0);
+      spec.chain_dp_optimum = true;
+      specs.push_back(std::move(spec));
     }
     {
-      TaskGraph graph = make_layered_random(
+      StudySpec spec;
+      spec.instance = "layered random (16 tasks, DF-order subsets)";
+      spec.graph = make_layered_random(
           {.task_count = 16, .layer_count = 4, .mean_weight = 30.0, .seed = rng()});
-      graph.apply_cost_model(CostModel::proportional(0.1));
-      rows.push_back(study("layered random (16 tasks, DF-order subsets)", graph,
-                           FailureModel(3e-3, 0.0), false));
+      spec.graph.apply_cost_model(CostModel::proportional(0.1));
+      spec.model = FailureModel(3e-3, 0.0);
+      specs.push_back(std::move(spec));
     }
 
+    const engine::ExperimentEngine eng({.threads = cli.get_count("threads")});
+    std::vector<Row> rows(specs.size());
+    eng.for_each(specs.size(), [&](std::size_t i, EvaluatorWorkspace& ws) {
+      rows[i] = study(specs[i], ws, eng);
+    });
+
     Table table({"instance", "optimum E[T]", "best of 14", "winner", "gap", "greedy", "greedy gap"});
-    for (const Row& row : rows) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
       table.row()
-          .cell(row.instance)
+          .cell(specs[i].instance)
           .cell(row.optimum, 2)
           .cell(row.best14, 2)
           .cell(row.best14_name)

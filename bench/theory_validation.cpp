@@ -7,15 +7,21 @@
 //  * Theorem 2 — SUBSET-SUM gadget threshold behaviour;
 //  * Theorem 3 — optimized evaluator vs the literal Algorithm-1
 //    transcription and vs Monte-Carlo simulation.
+//
+// Instance parameters are drawn serially (fixed RNG order), then the
+// expensive validations are sharded across the experiment engine's
+// workers; rows print in instance order, so output is independent of the
+// thread count.
 #include <iostream>
 
-#include "bench_common.hpp"
 #include "core/evaluator_naive.hpp"
 #include "core/subset_sum.hpp"
 #include "core/theory_chain.hpp"
 #include "core/theory_fork.hpp"
 #include "core/theory_join.hpp"
+#include "engine/engine.hpp"
 #include "sim/trial_runner.hpp"
+#include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -26,79 +32,146 @@ using namespace fpsched;
 
 namespace {
 
-void fork_section(std::ostream& os, Rng& rng) {
+void fork_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
   os << "\n--- Theorem 1: fork graphs ---\n";
-  Table table({"sinks", "lambda", "E[ckpt src]", "E[no ckpt]", "decision", "agrees w/ evaluator"});
-  for (int instance = 0; instance < 5; ++instance) {
-    const std::size_t sinks = 3 + instance;
-    std::vector<double> sink_weights(sinks);
-    for (double& w : sink_weights) w = rng.uniform(5.0, 60.0);
-    TaskGraph graph = make_fork(rng.uniform(20.0, 120.0), sink_weights);
+  struct Instance {
+    std::vector<double> sink_weights;
+    double source_weight = 0.0;
+    double lambda = 0.0;
+  };
+  std::vector<Instance> instances(5);
+  for (int i = 0; i < 5; ++i) {
+    Instance& instance = instances[i];
+    instance.sink_weights.resize(3 + static_cast<std::size_t>(i));
+    for (double& w : instance.sink_weights) w = rng.uniform(5.0, 60.0);
+    instance.source_weight = rng.uniform(20.0, 120.0);
+    instance.lambda = rng.uniform(0.002, 0.02);
+  }
+
+  struct Row {
+    ForkAnalysis analysis;
+    double evaluated = 0.0;
+  };
+  std::vector<Row> rows(instances.size());
+  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace&) {
+    const Instance& instance = instances[i];
+    TaskGraph graph = make_fork(instance.source_weight, instance.sink_weights);
     graph.apply_cost_model(CostModel::proportional(0.15));
-    const FailureModel model(rng.uniform(0.002, 0.02), 0.0);
-    const ForkAnalysis analysis = analyze_fork(graph, model);
+    const FailureModel model(instance.lambda, 0.0);
+    rows[i].analysis = analyze_fork(graph, model);
     const Schedule schedule = optimal_fork_schedule(graph, model);
-    const double evaluated =
-        ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+    rows[i].evaluated = ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
+  });
+
+  Table table({"sinks", "lambda", "E[ckpt src]", "E[no ckpt]", "decision", "agrees w/ evaluator"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
     table.row()
-        .cell(sinks)
-        .cell(model.lambda(), 4)
-        .cell(analysis.expected_with_checkpoint, 2)
-        .cell(analysis.expected_without_checkpoint, 2)
-        .cell(std::string(analysis.checkpoint_source ? "checkpoint" : "skip"))
-        .cell(std::string(relative_difference(evaluated, analysis.optimal_expected_makespan) < 1e-9
-                              ? "yes"
-                              : "NO"));
+        .cell(instances[i].sink_weights.size())
+        .cell(instances[i].lambda, 4)
+        .cell(row.analysis.expected_with_checkpoint, 2)
+        .cell(row.analysis.expected_without_checkpoint, 2)
+        .cell(std::string(row.analysis.checkpoint_source ? "checkpoint" : "skip"))
+        .cell(std::string(
+            relative_difference(row.evaluated, row.analysis.optimal_expected_makespan) < 1e-9
+                ? "yes"
+                : "NO"));
   }
   table.print(os);
 }
 
-void join_section(std::ostream& os, Rng& rng) {
+void join_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
   os << "\n--- Lemma 2 / Corollary 1: join graphs (uniform costs) ---\n";
+  struct Instance {
+    std::vector<double> weights;
+    double sink_weight = 0.0;
+    double cost = 0.0;
+    double lambda = 0.0;
+  };
+  std::vector<Instance> instances(5);
+  for (int i = 0; i < 5; ++i) {
+    Instance& instance = instances[i];
+    instance.weights.resize(6 + static_cast<std::size_t>(i));
+    for (double& w : instance.weights) w = rng.uniform(5.0, 80.0);
+    instance.sink_weight = rng.uniform(1.0, 15.0);
+    instance.cost = rng.uniform(1.0, 5.0);
+    instance.lambda = rng.uniform(0.003, 0.02);
+  }
+
+  struct Row {
+    JoinSolution fast;
+    JoinSolution exact;
+  };
+  std::vector<Row> rows(instances.size());
+  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace&) {
+    const Instance& instance = instances[i];
+    TaskGraph graph = make_join(instance.weights, instance.sink_weight);
+    graph.apply_cost_model(CostModel::constant(instance.cost));
+    const FailureModel model(instance.lambda, 0.0);
+    rows[i].fast = solve_join_equal_costs(graph, model);
+    rows[i].exact = solve_join_bruteforce(graph, model);
+  });
+
   Table table({"sources", "lambda", "Corollary-1 E[T]", "brute-force E[T]", "ckpts", "match"});
-  for (int instance = 0; instance < 5; ++instance) {
-    const std::size_t sources = 6 + instance;
-    std::vector<double> weights(sources);
-    for (double& w : weights) w = rng.uniform(5.0, 80.0);
-    TaskGraph graph = make_join(weights, rng.uniform(1.0, 15.0));
-    graph.apply_cost_model(CostModel::constant(rng.uniform(1.0, 5.0)));
-    const FailureModel model(rng.uniform(0.003, 0.02), 0.0);
-    const JoinSolution fast = solve_join_equal_costs(graph, model);
-    const JoinSolution exact = solve_join_bruteforce(graph, model);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
     table.row()
-        .cell(sources)
-        .cell(model.lambda(), 4)
-        .cell(fast.expected_makespan, 2)
-        .cell(exact.expected_makespan, 2)
-        .cell(fast.checkpointed_sources.size())
+        .cell(instances[i].weights.size())
+        .cell(instances[i].lambda, 4)
+        .cell(row.fast.expected_makespan, 2)
+        .cell(row.exact.expected_makespan, 2)
+        .cell(row.fast.checkpointed_sources.size())
         .cell(std::string(
-            relative_difference(fast.expected_makespan, exact.expected_makespan) < 1e-9 ? "yes"
-                                                                                        : "NO"));
+            relative_difference(row.fast.expected_makespan, row.exact.expected_makespan) < 1e-9
+                ? "yes"
+                : "NO"));
   }
   table.print(os);
 }
 
-void chain_section(std::ostream& os, Rng& rng) {
+void chain_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
   os << "\n--- Toueg-Babaoglu chain dynamic program ---\n";
+  struct Instance {
+    std::vector<double> weights;
+    double cost_factor = 0.0;
+    double lambda = 0.0;
+  };
+  std::vector<Instance> instances(5);
+  for (int i = 0; i < 5; ++i) {
+    Instance& instance = instances[i];
+    instance.weights.resize(8 + static_cast<std::size_t>(i) * 2);
+    for (double& w : instance.weights) w = rng.uniform(5.0, 70.0);
+    instance.cost_factor = rng.uniform(0.05, 0.3);
+    instance.lambda = rng.uniform(0.002, 0.03);
+  }
+
+  struct Row {
+    ChainSolution dp;
+    ChainSolution exact;
+  };
+  std::vector<Row> rows(instances.size());
+  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace&) {
+    const Instance& instance = instances[i];
+    TaskGraph graph = make_chain(instance.weights);
+    graph.apply_cost_model(CostModel::proportional(instance.cost_factor));
+    const FailureModel model(instance.lambda, 0.0);
+    rows[i].dp = solve_chain_optimal(graph, model);
+    rows[i].exact = solve_chain_bruteforce(graph, model);
+  });
+
   Table table({"tasks", "lambda", "DP E[T]", "brute-force E[T]", "DP ckpts", "match"});
-  for (int instance = 0; instance < 5; ++instance) {
-    const std::size_t n = 8 + instance * 2;
-    std::vector<double> weights(n);
-    for (double& w : weights) w = rng.uniform(5.0, 70.0);
-    TaskGraph graph = make_chain(weights);
-    graph.apply_cost_model(CostModel::proportional(rng.uniform(0.05, 0.3)));
-    const FailureModel model(rng.uniform(0.002, 0.03), 0.0);
-    const ChainSolution dp = solve_chain_optimal(graph, model);
-    const ChainSolution exact = solve_chain_bruteforce(graph, model);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
     table.row()
-        .cell(n)
-        .cell(model.lambda(), 4)
-        .cell(dp.expected_makespan, 2)
-        .cell(exact.expected_makespan, 2)
-        .cell(dp.checkpoint_positions.size())
+        .cell(instances[i].weights.size())
+        .cell(instances[i].lambda, 4)
+        .cell(row.dp.expected_makespan, 2)
+        .cell(row.exact.expected_makespan, 2)
+        .cell(row.dp.checkpoint_positions.size())
         .cell(std::string(
-            relative_difference(dp.expected_makespan, exact.expected_makespan) < 1e-9 ? "yes"
-                                                                                      : "NO"));
+            relative_difference(row.dp.expected_makespan, row.exact.expected_makespan) < 1e-9
+                ? "yes"
+                : "NO"));
   }
   table.print(os);
 }
@@ -124,32 +197,62 @@ void subset_sum_section(std::ostream& os) {
   os << "(Theorem 2 requires the two right columns to be identical.)\n";
 }
 
-void evaluator_section(std::ostream& os, Rng& rng) {
+void evaluator_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
   os << "\n--- Theorem 3: evaluator vs Algorithm 1 vs Monte-Carlo ---\n";
-  Table table({"tasks", "lambda", "optimized", "Algorithm 1", "MC mean +/- CI95", "consistent"});
-  for (int instance = 0; instance < 4; ++instance) {
-    TaskGraph graph = make_layered_random({.task_count = 14 + 6u * instance,
+  struct Instance {
+    std::size_t task_count = 0;
+    std::uint64_t graph_seed = 0;
+    double lambda = 0.0;
+    std::uint64_t mc_seed = 0;
+  };
+  std::vector<Instance> instances(4);
+  for (int i = 0; i < 4; ++i) {
+    Instance& instance = instances[i];
+    instance.task_count = 14 + 6u * static_cast<std::size_t>(i);
+    instance.graph_seed = rng();
+    instance.lambda = rng.uniform(0.002, 0.01);
+    instance.mc_seed = rng();
+  }
+
+  struct Row {
+    double fast = 0.0;
+    double naive = 0.0;
+    MonteCarloSummary mc;
+  };
+  std::vector<Row> rows(instances.size());
+  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace& ws) {
+    const Instance& instance = instances[i];
+    TaskGraph graph = make_layered_random({.task_count = instance.task_count,
                                            .layer_count = 4,
                                            .mean_weight = 25.0,
-                                           .seed = rng()});
+                                           .seed = instance.graph_seed});
     graph.apply_cost_model(CostModel::proportional(0.1));
-    const FailureModel model(rng.uniform(0.002, 0.01), 1.0);
-    Schedule schedule = make_schedule(linearize(graph.dag(), graph.weights(),
-                                                LinearizeMethod::depth_first));
+    const FailureModel model(instance.lambda, 1.0);
+    Schedule schedule =
+        make_schedule(linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first));
     for (VertexId v = 0; v < graph.task_count(); v += 3) schedule.checkpointed[v] = 1;
 
-    const double fast = ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
-    const double naive = evaluate_reference(graph, model, schedule);
-    const MonteCarloSummary mc =
-        run_trials(FaultSimulator(graph, model, schedule), {.trials = 30000, .seed = rng()});
+    rows[i].fast =
+        ScheduleEvaluator(graph, model).evaluate(schedule, ws).expected_makespan;
+    rows[i].naive = evaluate_reference(graph, model, schedule);
+    // Serial trials inside sharded workers: nested pools oversubscribe
+    // and make the stat-merge order thread-dependent.
+    rows[i].mc = run_trials(FaultSimulator(graph, model, schedule),
+                            {.trials = 30000, .seed = instance.mc_seed,
+                             .threads = eng.inner_threads()});
+  });
+
+  Table table({"tasks", "lambda", "optimized", "Algorithm 1", "MC mean +/- CI95", "consistent"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
     table.row()
-        .cell(graph.task_count())
-        .cell(model.lambda(), 4)
-        .cell(fast, 3)
-        .cell(naive, 3)
-        .cell(format_double(mc.mean_makespan(), 2) + " +/- " + format_double(mc.ci95(), 2))
-        .cell(std::string(relative_difference(fast, naive) < 1e-9 &&
-                                  mc.consistent_with(fast, 3.0)
+        .cell(instances[i].task_count)
+        .cell(instances[i].lambda, 4)
+        .cell(row.fast, 3)
+        .cell(row.naive, 3)
+        .cell(format_double(row.mc.mean_makespan(), 2) + " +/- " + format_double(row.mc.ci95(), 2))
+        .cell(std::string(relative_difference(row.fast, row.naive) < 1e-9 &&
+                                  row.mc.consistent_with(row.fast, 3.0)
                               ? "yes"
                               : "NO"));
   }
@@ -161,15 +264,17 @@ void evaluator_section(std::ostream& os, Rng& rng) {
 int main(int argc, char** argv) {
   CliParser cli("Validates every Section-4 theoretical result numerically.");
   cli.add_option("seed", "2025", "randomized-instance seed");
+  cli.add_option("threads", "0", "instance-shard worker threads (0 = all cores)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    const engine::ExperimentEngine eng({.threads = cli.get_count("threads")});
     std::cout << "Section 4 theory validation\n";
-    fork_section(std::cout, rng);
-    join_section(std::cout, rng);
-    chain_section(std::cout, rng);
+    fork_section(std::cout, rng, eng);
+    join_section(std::cout, rng, eng);
+    chain_section(std::cout, rng, eng);
     subset_sum_section(std::cout);
-    evaluator_section(std::cout, rng);
+    evaluator_section(std::cout, rng, eng);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/evaluator.hpp"
+#include "engine/engine.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -22,11 +23,12 @@ int main(int argc, char** argv) {
   cli.add_option("downtime", "0", "downtime per failure (s)");
   cli.add_option("ckpt-factor", "0.1", "checkpoint cost as a fraction of task weight");
   cli.add_option("seed", "42", "generator seed");
+  cli.add_option("threads", "0", "heuristic-shard worker threads (0 = all cores)");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
     GeneratorConfig config;
-    config.task_count = static_cast<std::size_t>(cli.get_int("tasks"));
+    config.task_count = cli.get_count("tasks", 1);
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     config.cost_model = CostModel::proportional(cli.get_double("ckpt-factor"));
     const TaskGraph graph = generate_montage(config);
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
               << " s, " << config.cost_model.describe() << "\n\n";
 
     const ScheduleEvaluator evaluator(graph, model);
-    std::vector<HeuristicResult> results = run_heuristics(evaluator, all_heuristics());
+    const engine::ExperimentEngine eng({.threads = cli.get_count("threads")});
+    std::vector<HeuristicResult> results = eng.run_heuristics(evaluator, all_heuristics());
     std::sort(results.begin(), results.end(), [](const auto& a, const auto& b) {
       return a.evaluation.expected_makespan < b.evaluation.expected_makespan;
     });

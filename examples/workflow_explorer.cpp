@@ -11,6 +11,7 @@
 
 #include "core/evaluator.hpp"
 #include "dag/dot.hpp"
+#include "engine/engine.hpp"
 #include "heuristics/heuristic.hpp"
 #include "sim/trial_runner.hpp"
 #include "support/cli.hpp"
@@ -46,10 +47,14 @@ int main(int argc, char** argv) {
   cli.add_option("save", "", "write the workflow to this .wf file");
   cli.add_option("dot", "", "write the DAG (with winner's checkpoints) to this .dot file");
   cli.add_option("stride", "1", "N-sweep stride (1 = exhaustive, as in the paper)");
+  cli.add_option("threads", "0", "heuristic-shard worker threads (0 = all cores)");
   cli.add_option("trials", "20000", "Monte-Carlo trials when --simulate is given");
   cli.add_flag("simulate", "validate the winning schedule with the fault simulator");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    // Validate numeric options up front, before any generation work.
+    const std::size_t stride = cli.get_count("stride", 1);
+    const engine::ExperimentEngine eng({.threads = cli.get_count("threads")});
 
     // --- Obtain the workflow. -----------------------------------------
     double lambda = cli.get_double("lambda");
@@ -60,7 +65,7 @@ int main(int argc, char** argv) {
       const WorkflowKind kind = parse_kind(cli.get_string("workflow"));
       if (lambda <= 0.0) lambda = paper_lambda(kind);
       GeneratorConfig config;
-      config.task_count = static_cast<std::size_t>(cli.get_int("tasks"));
+      config.task_count = cli.get_count("tasks", 1);
       config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
       const double constant = cli.get_double("ckpt-const");
       config.cost_model = constant >= 0.0 ? CostModel::constant(constant)
@@ -76,12 +81,12 @@ int main(int argc, char** argv) {
     std::cout << "Platform: lambda = " << model.lambda() << "/s (MTBF " << model.mtbf()
               << " s), downtime " << model.downtime() << " s\n\n";
 
-    // --- Run all heuristics. -------------------------------------------
+    // --- Run all heuristics (sharded across the engine's workers). -----
     const ScheduleEvaluator evaluator(graph, model);
     HeuristicOptions options;
-    options.sweep.stride = static_cast<std::size_t>(cli.get_int("stride"));
+    options.sweep.stride = stride;
     std::vector<HeuristicResult> results =
-        run_heuristics(evaluator, all_heuristics(), options);
+        eng.run_heuristics(evaluator, all_heuristics(), options);
     std::sort(results.begin(), results.end(), [](const auto& a, const auto& b) {
       return a.evaluation.expected_makespan < b.evaluation.expected_makespan;
     });
@@ -117,8 +122,8 @@ int main(int argc, char** argv) {
     // --- Optional Monte-Carlo validation. --------------------------------
     if (cli.get_flag("simulate")) {
       const FaultSimulator simulator(graph, model, winner.schedule);
-      const MonteCarloSummary mc = run_trials(
-          simulator, {.trials = static_cast<std::size_t>(cli.get_int("trials")), .seed = 99});
+      const MonteCarloSummary mc =
+          run_trials(simulator, {.trials = cli.get_count("trials", 1), .seed = 99});
       std::cout << "\nMonte-Carlo check of " << winner.spec.name() << ": "
                 << mc.mean_makespan() << " +/- " << mc.ci95() << " s vs analytic "
                 << winner.evaluation.expected_makespan << " s -> "

@@ -1,0 +1,110 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/threading.hpp"
+
+namespace fpsched::engine {
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : threads_(options.threads == 0 ? default_thread_count()
+                                    : std::max<std::size_t>(options.threads, 1)) {}
+
+HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace) const {
+  HeuristicOptions options;
+  options.sweep.threads = inner_threads();
+  options.sweep.workspace = &workspace;  // honored whenever the sweep is serial
+  return options;
+}
+
+ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
+                                              EvaluatorWorkspace& workspace) const {
+  ensure(spec.stride >= 1, "scenario stride must be >= 1 (" + spec.label() + ")");
+  const TaskGraph graph = spec.instantiate();
+  const ScheduleEvaluator evaluator(graph, spec.model);
+  HeuristicOptions options = worker_options(workspace);
+  options.linearize = spec.linearize;
+  options.sweep.stride = spec.stride;
+
+  ScenarioResult result;
+  result.spec = spec;
+  if (spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic) {
+    HeuristicResult run = run_heuristic(evaluator, spec.policy.heuristic, options);
+    result.evaluation = run.evaluation;
+    result.linearization = spec.policy.heuristic.linearization;
+    result.best_budget = run.best_budget;
+    return result;
+  }
+
+  // best_linearization: the selection rule of Figures 3 and 5-7 — keep the
+  // linearization with the smallest ratio. CkptNvr / CkptAlws are defined
+  // with the DF linearization only (Section 5).
+  if (!is_budgeted(spec.policy.strategy)) {
+    HeuristicResult run = run_heuristic(
+        evaluator, {LinearizeMethod::depth_first, spec.policy.strategy}, options);
+    result.evaluation = run.evaluation;
+    result.linearization = LinearizeMethod::depth_first;
+    result.best_budget = run.best_budget;
+    return result;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const LinearizeMethod lin : all_linearize_methods()) {
+    HeuristicResult run = run_heuristic(evaluator, {lin, spec.policy.strategy}, options);
+    if (run.evaluation.ratio < best) {
+      best = run.evaluation.ratio;
+      result.evaluation = run.evaluation;
+      result.linearization = lin;
+      result.best_budget = run.best_budget;
+    }
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> specs) const {
+  std::vector<ScenarioResult> results(specs.size());
+  for_each(specs.size(), [&](std::size_t index, EvaluatorWorkspace& workspace) {
+    results[index] = run_scenario(specs[index], workspace);
+  });
+  return results;
+}
+
+std::vector<ScenarioResult> ExperimentEngine::run(const ScenarioGrid& grid) const {
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+  return run(specs);
+}
+
+void ExperimentEngine::for_each(
+    std::size_t count, const std::function<void(std::size_t, EvaluatorWorkspace&)>& body) const {
+  if (count == 0) return;
+  if (threads_ <= 1) {
+    EvaluatorWorkspace workspace;
+    for (std::size_t i = 0; i < count; ++i) body(i, workspace);
+    return;
+  }
+  std::vector<EvaluatorWorkspace> workspaces(std::min(threads_, count));
+  parallel_for_workers(
+      0, count,
+      [&](std::size_t index, std::size_t worker) { body(index, workspaces[worker]); }, threads_);
+}
+
+std::vector<HeuristicResult> ExperimentEngine::run_heuristics(
+    const ScheduleEvaluator& evaluator, const std::vector<HeuristicSpec>& specs,
+    HeuristicOptions options) const {
+  if (threads_ <= 1) {
+    // Serial engine: keep the inner sweep's own parallelism settings.
+    return fpsched::run_heuristics(evaluator, specs, options);
+  }
+  std::vector<HeuristicResult> results(specs.size());
+  for_each(specs.size(), [&](std::size_t index, EvaluatorWorkspace& workspace) {
+    HeuristicOptions local = options;
+    local.sweep.threads = inner_threads();
+    local.sweep.workspace = &workspace;
+    results[index] = run_heuristic(evaluator, specs[index], local);
+  });
+  return results;
+}
+
+}  // namespace fpsched::engine

@@ -1,0 +1,93 @@
+// ExperimentEngine: sharded parallel execution of scenario lists.
+//
+// The bench binaries used to run their figure grids as serial loops, with
+// parallelism confined to the innermost checkpoint-budget sweep. The
+// engine inverts that: the *flattened scenario list* is sharded across
+// workers via parallel_for_workers, each worker reuses a private
+// EvaluatorWorkspace, and the inner sweep runs serially inside its
+// scenario. Every scenario's result depends only on its ScenarioSpec
+// (instance seeds and RNG streams are part of the spec), so results are
+// bit-for-bit identical regardless of the thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "engine/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace fpsched::engine {
+
+struct EngineOptions {
+  /// Worker threads for scenario sharding. 0 = default_thread_count()
+  /// (honors FPSCHED_THREADS); 1 = serial.
+  std::size_t threads = 0;
+};
+
+/// Outcome of one scenario.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  Evaluation evaluation;
+  /// The linearization that produced `evaluation` (for best_linearization
+  /// policies, the winner; fixed policies echo the spec).
+  LinearizeMethod linearization = LinearizeMethod::depth_first;
+  std::size_t best_budget = 0;
+
+  double ratio() const { return evaluation.ratio; }
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineOptions options = {});
+
+  /// Effective worker count (>= 1).
+  std::size_t thread_count() const { return threads_; }
+
+  /// Thread count nested algorithms (sweeps, exact solvers, greedy
+  /// scans, Monte-Carlo trials) should use inside one of this engine's
+  /// workers: 1 when the engine shards in parallel (a nested pool would
+  /// oversubscribe), 0 (= all cores) when the engine itself is serial.
+  std::size_t inner_threads() const { return threads_ > 1 ? 1 : 0; }
+
+  /// Heuristic options for code running inside one of this engine's
+  /// workers: inner sweep threads from inner_threads(), reusing the
+  /// worker's workspace when serial. Callers layer their stride /
+  /// linearization on top.
+  HeuristicOptions worker_options(EvaluatorWorkspace& workspace) const;
+
+  /// Runs every scenario; results come back in input order and are
+  /// independent of the thread count.
+  std::vector<ScenarioResult> run(std::span<const ScenarioSpec> specs) const;
+
+  /// Enumerates and runs a grid.
+  std::vector<ScenarioResult> run(const ScenarioGrid& grid) const;
+
+  /// Sharded execution of `count` custom work items: body(index,
+  /// workspace) runs once per index on some worker, with a per-worker
+  /// scratch workspace. The body must write only index-owned state.
+  /// Building block for the study benches whose scenarios are not plain
+  /// kind x size grids (theory instances, ablations, exact solvers).
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t, EvaluatorWorkspace&)>& body) const;
+
+  /// Parallel drop-in for fpsched::run_heuristics: shards the heuristic
+  /// list across workers (serializing each inner sweep) and returns the
+  /// numerically identical results in the same order. When the engine
+  /// shards (thread_count() > 1), `options.sweep`'s threads/workspace
+  /// fields are overridden; a serial engine forwards them untouched so
+  /// the inner sweep keeps the caller's own parallelism settings.
+  std::vector<HeuristicResult> run_heuristics(const ScheduleEvaluator& evaluator,
+                                              const std::vector<HeuristicSpec>& specs,
+                                              HeuristicOptions options = {}) const;
+
+  /// Runs one scenario on the given workspace (what each worker executes).
+  ScenarioResult run_scenario(const ScenarioSpec& spec, EvaluatorWorkspace& workspace) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace fpsched::engine

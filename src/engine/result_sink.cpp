@@ -1,0 +1,105 @@
+#include "engine/result_sink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "support/ascii_plot.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::engine {
+
+Table panel_table(const Panel& panel) {
+  std::vector<std::string> headers{panel.x_label};
+  for (const PanelSeries& series : panel.series) headers.push_back(series.name);
+  Table table(headers);
+  for (std::size_t i = 0; i < panel.xs.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(panel.x_label == "lambda"
+                      ? format_double(panel.xs[i], 6)
+                      : std::to_string(static_cast<long long>(panel.xs[i])));
+    for (const PanelSeries& series : panel.series) row.push_back(format_double(series.values[i], 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> results,
+                     std::string title) {
+  grid.validate();
+  ensure(grid.workflows.size() == 1, "assemble_panel needs a single-workflow grid");
+  ensure(results.size() == grid.scenario_count(),
+         "assemble_panel: results do not match the grid");
+
+  Panel panel;
+  panel.title = std::move(title);
+  if (grid.axis == GridAxis::task_count) {
+    ensure(grid.lambdas.size() <= 1, "a task-count panel needs a single lambda");
+    panel.x_label = "number of tasks";
+    panel.xs.assign(grid.sizes.begin(), grid.sizes.end());
+  } else {
+    ensure(grid.sizes.size() == 1, "a lambda panel needs a single task count");
+    panel.x_label = "lambda";
+    panel.xs = grid.lambdas;
+  }
+
+  // enumerate() order: x value major, policy minor (one kind, one value on
+  // the non-axis dimension).
+  const std::size_t policy_count = grid.policies.size();
+  for (const ScenarioPolicy& policy : grid.policies) panel.series.push_back({policy.name(), {}});
+  for (std::size_t x = 0; x < panel.xs.size(); ++x) {
+    for (std::size_t p = 0; p < policy_count; ++p) {
+      panel.series[p].values.push_back(results[x * policy_count + p].ratio());
+    }
+  }
+  return panel;
+}
+
+TableSink::TableSink(std::ostream& os, bool with_heading) : os_(os), with_heading_(with_heading) {}
+
+void TableSink::emit(const Panel& panel, const std::string&) {
+  if (with_heading_) os_ << "\n=== " << panel.title << " ===\n";
+  panel_table(panel).print(os_);
+}
+
+AsciiChartSink::AsciiChartSink(std::ostream& os) : os_(os) {}
+
+void AsciiChartSink::emit(const Panel& panel, const std::string&) {
+  std::vector<double> finite;
+  for (const PanelSeries& series : panel.series)
+    for (const double r : series.values)
+      if (std::isfinite(r)) finite.push_back(r);
+  if (finite.empty()) return;
+  std::sort(finite.begin(), finite.end());
+  const double cap = std::max(finite[finite.size() / 2] * 3.0, finite.front() * 1.5);
+  bool clipped = false;
+  AsciiChart chart("T / T_inf (chart clipped at " + format_double(cap, 2) + ")", 72, 18);
+  chart.set_x_label(panel.x_label);
+  chart.set_y_label("T / T_inf");
+  for (const PanelSeries& series : panel.series) {
+    PlotSeries plot{series.name, panel.xs, series.values};
+    for (double& y : plot.ys) {
+      if (!std::isfinite(y) || y > cap) {
+        y = cap;
+        clipped = true;
+      }
+    }
+    chart.add_series(std::move(plot));
+  }
+  chart.print(os_);
+  if (clipped) os_ << "  (some points exceed the chart cap; see the table for exact values)\n";
+}
+
+CsvSink::CsvSink(std::string directory, std::ostream* log)
+    : directory_(std::move(directory)), log_(log) {}
+
+void CsvSink::emit(const Panel& panel, const std::string& slug) {
+  const std::string path = directory_ + "/" + slug + ".csv";
+  std::ofstream csv(path);
+  if (!csv.good()) throw InvalidArgument("cannot open " + path + " for writing");
+  panel_table(panel).to_csv(csv);
+  if (log_) *log_ << "  [csv written to " << path << "]\n";
+}
+
+}  // namespace fpsched::engine

@@ -1,0 +1,88 @@
+// Pluggable result sinks for engine output.
+//
+// A Panel is the paper's figure unit: an x grid (task counts or failure
+// rates) with one T/T_inf series per policy. Sinks render panels — a
+// fixed-width table, an ASCII chart, a CSV file — and can be composed
+// freely; the bench harness stacks all three, a future HTTP frontend could
+// stream JSON. assemble_panel() maps a grid's flattened ScenarioResults
+// back onto panel coordinates.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/scenario.hpp"
+#include "support/table.hpp"
+
+namespace fpsched::engine {
+
+/// One plotted line: a policy's ratio per x-grid point.
+struct PanelSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct Panel {
+  std::string title;    // e.g. "CyberShake: lambda=0.001, c=0.1w"
+  std::string x_label;  // "number of tasks" or "lambda"
+  std::vector<double> xs;
+  std::vector<PanelSeries> series;
+};
+
+/// The panel as a printable/CSV-able table (x column plus one column per
+/// series; lambda grids format x with 6 decimals, size grids as integers).
+Table panel_table(const Panel& panel);
+
+/// Builds the panel of a single-workflow grid from the results of
+/// `ExperimentEngine::run(grid)` (same order). The grid must have exactly
+/// one workflow kind and exactly one value on its non-axis dimension.
+Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> results,
+                     std::string title);
+
+/// Consumes rendered panels. `slug` is a stable per-panel file stem
+/// ("fig2a_cybershake"); stream sinks ignore it.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void emit(const Panel& panel, const std::string& slug) = 0;
+};
+
+/// "\n=== title ===\n" heading plus the column-aligned ratio table.
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& os, bool with_heading = true);
+  void emit(const Panel& panel, const std::string& slug) override;
+
+ private:
+  std::ostream& os_;
+  bool with_heading_;
+};
+
+/// Terminal chart of every series. Runaway series (e.g. CkptNvr on
+/// Genome) are clipped at 3x the median finite ratio so the contenders
+/// stay readable; the table sink keeps the exact values.
+class AsciiChartSink : public ResultSink {
+ public:
+  explicit AsciiChartSink(std::ostream& os);
+  void emit(const Panel& panel, const std::string& slug) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Writes `<directory>/<slug>.csv`; logs "[csv written to ...]" to `log`
+/// when provided. Throws InvalidArgument when the file cannot be opened.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::string directory, std::ostream* log = nullptr);
+  void emit(const Panel& panel, const std::string& slug) override;
+
+ private:
+  std::string directory_;
+  std::ostream* log_;
+};
+
+}  // namespace fpsched::engine

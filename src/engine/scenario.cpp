@@ -1,0 +1,113 @@
+#include "engine/scenario.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fpsched::engine {
+
+ScenarioPolicy ScenarioPolicy::fixed(HeuristicSpec spec) {
+  ScenarioPolicy policy;
+  policy.kind = Kind::fixed_heuristic;
+  policy.heuristic = spec;
+  return policy;
+}
+
+ScenarioPolicy ScenarioPolicy::best_lin(CkptStrategy strategy) {
+  ScenarioPolicy policy;
+  policy.kind = Kind::best_linearization;
+  policy.strategy = strategy;
+  return policy;
+}
+
+std::string ScenarioPolicy::name() const {
+  return kind == Kind::fixed_heuristic ? heuristic.name() : to_string(strategy);
+}
+
+TaskGraph ScenarioSpec::instantiate() const {
+  GeneratorConfig config;
+  config.task_count = task_count;
+  config.seed = workflow_seed + task_count;  // distinct instance per size, reproducible
+  config.weight_cv = weight_cv;
+  config.cost_model = cost_model;
+  return generate_workflow(workflow, config);
+}
+
+Rng ScenarioSpec::rng() const {
+  // Root stream from the scenario's full identity, not just the grid
+  // position: run_figure flattens several grids into one batch, and grids
+  // sharing a workflow_seed would otherwise hand the same stream to their
+  // respective scenario 0, 1, ... Mixing every spec field keeps distinct
+  // scenarios on distinct streams while staying a pure function of the
+  // spec — independent of which worker runs the scenario.
+  std::uint64_t state = workflow_seed;
+  const auto mix = [&state](std::uint64_t word) { state = splitmix64(state) ^ word; };
+  mix(static_cast<std::uint64_t>(workflow));
+  mix(task_count);
+  mix(std::bit_cast<std::uint64_t>(model.lambda()));
+  mix(std::bit_cast<std::uint64_t>(model.downtime()));
+  mix(std::bit_cast<std::uint64_t>(weight_cv));
+  mix(static_cast<std::uint64_t>(policy.kind));
+  mix(static_cast<std::uint64_t>(policy.heuristic.linearization));
+  mix(static_cast<std::uint64_t>(policy.heuristic.checkpointing));
+  mix(static_cast<std::uint64_t>(policy.strategy));
+  mix(static_cast<std::uint64_t>(linearize.outweight));
+  mix(linearize.seed);
+  mix(stride);
+  mix(scenario_index);
+  return Rng(state);
+}
+
+std::string ScenarioSpec::label() const {
+  std::ostringstream os;
+  os << to_string(workflow) << " n=" << task_count << " lambda=" << model.lambda() << " "
+     << policy.name();
+  return os.str();
+}
+
+void ScenarioGrid::validate() const {
+  ensure(!workflows.empty(), "scenario grid needs at least one workflow kind");
+  ensure(!sizes.empty(), "scenario grid needs at least one task count");
+  ensure(!policies.empty(), "scenario grid needs at least one policy");
+  ensure(stride >= 1, "scenario grid stride must be >= 1");
+  ensure(axis != GridAxis::lambda || !lambdas.empty(),
+         "a lambda-axis grid needs an explicit lambda list");
+}
+
+std::size_t ScenarioGrid::scenario_count() const {
+  const std::size_t lambda_count = lambdas.empty() ? 1 : lambdas.size();
+  return workflows.size() * sizes.size() * lambda_count * policies.size();
+}
+
+std::vector<ScenarioSpec> ScenarioGrid::enumerate() const {
+  validate();
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(scenario_count());
+  for (const WorkflowKind kind : workflows) {
+    // Empty lambda list = the paper's per-workflow failure rate.
+    const std::vector<double> kind_lambdas =
+        lambdas.empty() ? std::vector<double>{paper_lambda(kind)} : lambdas;
+    for (const std::size_t size : sizes) {
+      for (const double lambda : kind_lambdas) {
+        for (const ScenarioPolicy& policy : policies) {
+          ScenarioSpec spec;
+          spec.workflow = kind;
+          spec.task_count = size;
+          spec.model = FailureModel(lambda, downtime);
+          spec.cost_model = cost_model;
+          spec.policy = policy;
+          spec.workflow_seed = seed;
+          spec.weight_cv = weight_cv;
+          spec.stride = stride;
+          spec.linearize = linearize;
+          spec.scenario_index = specs.size();
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace fpsched::engine

@@ -1,0 +1,108 @@
+// Declarative experiment scenarios (the unit of work of the engine).
+//
+// The paper's whole evaluation is a grid: workflow kind x size x failure
+// model x heuristic. A ScenarioSpec pins down one cell of such a grid —
+// everything needed to reproduce one plotted point deterministically,
+// independent of execution order or thread count. A ScenarioGrid is the
+// declarative cross product the figure binaries used to hand-roll as
+// nested loops; `enumerate()` flattens it into the scenario list the
+// ExperimentEngine shards across workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/rng.hpp"
+#include "workflows/generator.hpp"
+
+namespace fpsched::engine {
+
+/// What to run on a scenario's instance: one fixed heuristic, or the best
+/// linearization for a checkpointing strategy (the selection rule of
+/// Figures 3 and 5-7; non-budgeted strategies are DF-only per Section 5).
+struct ScenarioPolicy {
+  enum class Kind : std::uint8_t { fixed_heuristic, best_linearization };
+
+  Kind kind = Kind::fixed_heuristic;
+  HeuristicSpec heuristic;                           // fixed_heuristic
+  CkptStrategy strategy = CkptStrategy::by_weight;   // best_linearization
+
+  static ScenarioPolicy fixed(HeuristicSpec spec);
+  static ScenarioPolicy best_lin(CkptStrategy strategy);
+
+  /// Series label: the heuristic name ("DF-CkptW") or the strategy name
+  /// ("CkptW") — matching the paper's figure legends.
+  std::string name() const;
+};
+
+/// One fully specified experiment cell.
+struct ScenarioSpec {
+  WorkflowKind workflow = WorkflowKind::montage;
+  std::size_t task_count = 100;
+  FailureModel model{1e-3, 0.0};
+  CostModel cost_model = CostModel::proportional(0.1);
+  ScenarioPolicy policy;
+
+  /// Instance randomness: the generator is seeded with
+  /// `workflow_seed + task_count` (distinct instance per size,
+  /// reproducible — the convention of every figure bench).
+  std::uint64_t workflow_seed = 42;
+  double weight_cv = 0.2;
+
+  /// N-sweep stride (1 = exhaustive, as in the paper). Must be >= 1.
+  std::size_t stride = 1;
+  /// Linearization options (RF seed, outweight mode) — part of the spec so
+  /// results do not depend on who executes the scenario.
+  LinearizeOptions linearize;
+
+  /// Forked sub-stream id assigned by ScenarioGrid::enumerate (position in
+  /// the flattened grid). Any scenario-local randomness must come from
+  /// `rng()` so results are identical under any sharding.
+  std::uint64_t scenario_index = 0;
+
+  /// The scenario's workflow instance (generation is deterministic).
+  TaskGraph instantiate() const;
+
+  /// Independent, reproducible random stream for this scenario.
+  Rng rng() const;
+
+  /// "CyberShake n=200 lambda=0.001 DF-CkptW" — for logs and errors.
+  std::string label() const;
+};
+
+/// Which grid dimension forms the x axis of assembled panels.
+enum class GridAxis : std::uint8_t { task_count, lambda };
+
+/// The declarative cross product kind x size x lambda x policy. Scenario
+/// order is fixed (kind-major, then axis value, then policy) so a grid
+/// always flattens to the same list.
+struct ScenarioGrid {
+  std::vector<WorkflowKind> workflows;
+  std::vector<std::size_t> sizes{100};
+  /// Failure rates; empty = the paper's per-workflow lambda
+  /// (`paper_lambda`).
+  std::vector<double> lambdas;
+  double downtime = 0.0;
+  CostModel cost_model = CostModel::proportional(0.1);
+  std::vector<ScenarioPolicy> policies;
+
+  std::uint64_t seed = 42;
+  double weight_cv = 0.2;
+  std::size_t stride = 1;
+  LinearizeOptions linearize;
+  GridAxis axis = GridAxis::task_count;
+
+  std::size_t scenario_count() const;
+
+  /// Flattens the grid; throws InvalidArgument when the grid is malformed
+  /// (no workflows/sizes/policies, stride < 1, or an empty axis).
+  std::vector<ScenarioSpec> enumerate() const;
+
+  /// Throws InvalidArgument when the grid cannot be enumerated.
+  void validate() const;
+};
+
+}  // namespace fpsched::engine

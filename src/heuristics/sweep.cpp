@@ -8,10 +8,14 @@
 
 namespace fpsched {
 
+void SweepOptions::validate() const {
+  ensure(stride >= 1, "sweep stride must be >= 1");
+}
+
 SweepResult sweep_checkpoint_budget(const ScheduleEvaluator& evaluator,
                                     const std::vector<VertexId>& order, CkptStrategy strategy,
                                     const SweepOptions& options) {
-  ensure(options.stride >= 1, "sweep stride must be >= 1");
+  options.validate();
   const TaskGraph& graph = evaluator.graph();
   const std::size_t n = graph.task_count();
   ensure(order.size() == n, "order size must match the task count");
@@ -19,11 +23,14 @@ SweepResult sweep_checkpoint_budget(const ScheduleEvaluator& evaluator,
   // Validate the linearization once; the per-candidate evaluations skip it.
   validate_schedule(graph, make_schedule(order));
 
+  EvaluatorWorkspace local_ws;
+  EvaluatorWorkspace& serial_ws = options.workspace ? *options.workspace : local_ws;
+
   SweepResult result;
   if (!is_budgeted(strategy)) {
     Schedule schedule = make_heuristic_schedule(graph, order, strategy, 0);
-    EvaluatorWorkspace ws;
-    result.best_expected_makespan = evaluator.expected_makespan(schedule, ws, /*validate=*/false);
+    result.best_expected_makespan =
+        evaluator.expected_makespan(schedule, serial_ws, /*validate=*/false);
     result.best_budget = schedule.checkpoint_count();
     result.curve.push_back(
         {result.best_budget, schedule.checkpoint_count(), result.best_expected_makespan});
@@ -46,17 +53,21 @@ SweepResult sweep_checkpoint_budget(const ScheduleEvaluator& evaluator,
 
   const std::size_t worker_count =
       options.threads == 0 ? default_thread_count() : options.threads;
-  std::vector<EvaluatorWorkspace> workspaces(std::max<std::size_t>(worker_count, 1));
-  parallel_for_workers(
-      0, budgets.size(),
-      [&](std::size_t idx, std::size_t worker) {
-        Schedule schedule = make_heuristic_schedule(graph, order, strategy, budgets[idx]);
-        const double expected =
-            evaluator.expected_makespan(schedule, workspaces[worker], /*validate=*/false);
-        points[idx] = {budgets[idx], schedule.checkpoint_count(), expected};
-        schedules[idx] = std::move(schedule);
-      },
-      worker_count);
+  const auto evaluate_budget = [&](std::size_t idx, EvaluatorWorkspace& ws) {
+    Schedule schedule = make_heuristic_schedule(graph, order, strategy, budgets[idx]);
+    const double expected = evaluator.expected_makespan(schedule, ws, /*validate=*/false);
+    points[idx] = {budgets[idx], schedule.checkpoint_count(), expected};
+    schedules[idx] = std::move(schedule);
+  };
+  if (worker_count <= 1) {
+    for (std::size_t idx = 0; idx < budgets.size(); ++idx) evaluate_budget(idx, serial_ws);
+  } else {
+    std::vector<EvaluatorWorkspace> workspaces(worker_count);
+    parallel_for_workers(
+        0, budgets.size(),
+        [&](std::size_t idx, std::size_t worker) { evaluate_budget(idx, workspaces[worker]); },
+        worker_count);
+  }
 
   std::size_t best = 0;
   for (std::size_t i = 1; i < points.size(); ++i) {

@@ -25,6 +25,14 @@ struct SweepOptions {
   /// Also evaluate N = 0 (no checkpoints). The paper sweeps 1..n-1 only;
   /// keeping 0 off by default stays faithful.
   bool include_zero = false;
+  /// Optional caller-owned scratch reused when the sweep runs serially
+  /// (threads == 1) — lets an outer scenario shard keep one workspace per
+  /// worker. Ignored by parallel sweeps, which pool their own.
+  EvaluatorWorkspace* workspace = nullptr;
+
+  /// Throws InvalidArgument unless the options are well formed
+  /// (stride >= 1; 0 would loop forever on the budget grid).
+  void validate() const;
 };
 
 struct SweepPoint {

@@ -86,6 +86,15 @@ double CliParser::get_double(const std::string& name) const {
 
 bool CliParser::get_flag(const std::string& name) const { return get_string(name) == "true"; }
 
+std::size_t CliParser::get_count(const std::string& name, std::size_t min_value) const {
+  const std::int64_t v = get_int(name);
+  if (v < 0 || static_cast<std::uint64_t>(v) < min_value) {
+    throw InvalidArgument("option --" + name + " must be an integer >= " +
+                          std::to_string(min_value) + ", got " + std::to_string(v));
+  }
+  return static_cast<std::size_t>(v);
+}
+
 namespace {
 std::vector<std::string> split_commas(const std::string& raw) {
   std::vector<std::string> parts;

@@ -36,6 +36,12 @@ class CliParser {
   double get_double(const std::string& name) const;
   bool get_flag(const std::string& name) const;
 
+  /// Non-negative integer >= `min_value`, safe to use as a std::size_t.
+  /// Throws InvalidArgument for negative or too-small values — guards
+  /// options like `--stride 0` or `--tasks -5` that a raw size_t cast
+  /// would silently turn into garbage (or an endless sweep).
+  std::size_t get_count(const std::string& name, std::size_t min_value = 0) const;
+
   /// Comma-separated list of integers (e.g. "50,100,200").
   std::vector<std::int64_t> get_int_list(const std::string& name) const;
   /// Comma-separated list of doubles.

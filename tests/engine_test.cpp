@@ -1,0 +1,271 @@
+// Engine equivalence and determinism suite.
+//
+// The refactor contract: an engine-driven grid must produce numerically
+// identical ratios to direct serial run_heuristic calls, at 1 thread and
+// at >= 4 threads, and two engine runs with different thread counts must
+// agree bit for bit. The serial reference below is the pre-engine bench
+// path (generate instance with seed + size, linearize, sweep, evaluate).
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "engine/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/error.hpp"
+#include "workflows/generator.hpp"
+
+namespace fpsched::engine {
+namespace {
+
+/// The pre-engine serial instance path: seed + size, cost model applied.
+TaskGraph serial_instance(WorkflowKind kind, std::size_t size, const ScenarioGrid& grid) {
+  GeneratorConfig config;
+  config.task_count = size;
+  config.seed = grid.seed + size;
+  config.weight_cv = grid.weight_cv;
+  config.cost_model = grid.cost_model;
+  return generate_workflow(kind, config);
+}
+
+/// The pre-engine serial ratio path (bench_common::heuristic_ratio).
+double serial_ratio(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
+                    std::size_t stride) {
+  HeuristicOptions options;
+  options.sweep.stride = stride;
+  return run_heuristic(evaluator, spec, options).evaluation.ratio;
+}
+
+/// The pre-engine serial best-linearization path
+/// (bench_common::best_linearization_ratio).
+double serial_best_lin_ratio(const ScheduleEvaluator& evaluator, CkptStrategy strategy,
+                             std::size_t stride) {
+  if (!is_budgeted(strategy)) {
+    return serial_ratio(evaluator, {LinearizeMethod::depth_first, strategy}, stride);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const LinearizeMethod lin : all_linearize_methods()) {
+    best = std::min(best, serial_ratio(evaluator, {lin, strategy}, stride));
+  }
+  return best;
+}
+
+/// A small Figure-2 grid: fixed BF/DF/RF x CkptW/CkptC series.
+ScenarioGrid small_fig2_grid() {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::cybershake};
+  grid.sizes = {50, 80};
+  grid.lambdas = {1e-3};
+  grid.cost_model = CostModel::proportional(0.1);
+  grid.stride = 8;
+  for (const LinearizeMethod lin : all_linearize_methods()) {
+    for (const CkptStrategy strategy : {CkptStrategy::by_weight, CkptStrategy::by_cost}) {
+      grid.policies.push_back(ScenarioPolicy::fixed({lin, strategy}));
+    }
+  }
+  return grid;
+}
+
+/// A small Figure-3 grid: every strategy at its best linearization.
+ScenarioGrid small_fig3_grid() {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage};
+  grid.sizes = {60};
+  grid.lambdas = {1e-3};
+  grid.cost_model = CostModel::proportional(0.1);
+  grid.stride = 8;
+  for (const CkptStrategy strategy : all_ckpt_strategies()) {
+    grid.policies.push_back(ScenarioPolicy::best_lin(strategy));
+  }
+  return grid;
+}
+
+TEST(ScenarioGridTest, EnumerateIsTheDeclaredCrossProduct) {
+  const ScenarioGrid grid = small_fig2_grid();
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+  ASSERT_EQ(specs.size(), grid.scenario_count());
+  ASSERT_EQ(specs.size(), 2u * 6u);
+  // Order: size-major, policy-minor; scenario_index = flat position.
+  EXPECT_EQ(specs[0].task_count, 50u);
+  EXPECT_EQ(specs[6].task_count, 80u);
+  EXPECT_EQ(specs[3].policy.name(), "BF-CkptC");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].scenario_index, i);
+    EXPECT_EQ(specs[i].stride, 8u);
+    EXPECT_DOUBLE_EQ(specs[i].model.lambda(), 1e-3);
+  }
+}
+
+TEST(ScenarioGridTest, EmptyLambdaListUsesPaperLambda) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::genome, WorkflowKind::ligo};
+  grid.sizes = {50};
+  grid.policies = {ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::never})};
+  const auto specs = grid.enumerate();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_DOUBLE_EQ(specs[0].model.lambda(), paper_lambda(WorkflowKind::genome));
+  EXPECT_DOUBLE_EQ(specs[1].model.lambda(), paper_lambda(WorkflowKind::ligo));
+}
+
+TEST(ScenarioGridTest, MalformedGridsAreRejected) {
+  ScenarioGrid grid = small_fig2_grid();
+  grid.stride = 0;  // would loop forever on the budget grid
+  EXPECT_THROW(grid.enumerate(), Error);
+
+  ScenarioGrid no_policies = small_fig2_grid();
+  no_policies.policies.clear();
+  EXPECT_THROW(no_policies.enumerate(), Error);
+
+  ScenarioGrid lambda_axis = small_fig2_grid();
+  lambda_axis.axis = GridAxis::lambda;
+  lambda_axis.lambdas.clear();
+  EXPECT_THROW(lambda_axis.enumerate(), Error);
+}
+
+TEST(SweepOptionsTest, ZeroStrideIsRejected) {
+  SweepOptions options;
+  options.stride = 0;
+  EXPECT_THROW(options.validate(), Error);
+
+  const TaskGraph graph = serial_instance(WorkflowKind::montage, 50, ScenarioGrid{});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
+  EXPECT_THROW(sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight, options), Error);
+}
+
+TEST(SweepOptionsTest, CallerWorkspaceMatchesPooledSweep) {
+  const TaskGraph graph = serial_instance(WorkflowKind::ligo, 60, ScenarioGrid{});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  const auto order = linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  EvaluatorWorkspace ws;
+  serial.workspace = &ws;
+  const SweepResult reused = sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight,
+                                                     serial);
+  const SweepResult pooled = sweep_checkpoint_budget(evaluator, order, CkptStrategy::by_weight,
+                                                     {.threads = 4});
+  EXPECT_EQ(reused.best_budget, pooled.best_budget);
+  EXPECT_EQ(reused.best_expected_makespan, pooled.best_expected_makespan);
+  ASSERT_EQ(reused.curve.size(), pooled.curve.size());
+  for (std::size_t i = 0; i < reused.curve.size(); ++i) {
+    EXPECT_EQ(reused.curve[i].expected_makespan, pooled.curve[i].expected_makespan);
+  }
+}
+
+TEST(ExperimentEngineTest, Fig2GridMatchesSerialRatiosAtOneAndManyThreads) {
+  const ScenarioGrid grid = small_fig2_grid();
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+
+  // Direct serial reference, one evaluator per size as the benches did it.
+  std::vector<double> expected;
+  for (const std::size_t size : grid.sizes) {
+    const TaskGraph graph = serial_instance(WorkflowKind::cybershake, size, grid);
+    const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+    for (const ScenarioPolicy& policy : grid.policies) {
+      expected.push_back(serial_ratio(evaluator, policy.heuristic, grid.stride));
+    }
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const ExperimentEngine engine({.threads = threads});
+    const std::vector<ScenarioResult> results = engine.run(specs);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      // Bit-for-bit: the engine runs the same arithmetic in the same order.
+      EXPECT_EQ(results[i].ratio(), expected[i])
+          << "threads=" << threads << " scenario=" << specs[i].label();
+    }
+  }
+}
+
+TEST(ExperimentEngineTest, Fig3GridMatchesSerialBestLinearizationRatios) {
+  const ScenarioGrid grid = small_fig3_grid();
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+
+  const TaskGraph graph = serial_instance(WorkflowKind::montage, 60, grid);
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  std::vector<double> expected;
+  for (const ScenarioPolicy& policy : grid.policies) {
+    expected.push_back(serial_best_lin_ratio(evaluator, policy.strategy, grid.stride));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const ExperimentEngine engine({.threads = threads});
+    const std::vector<ScenarioResult> results = engine.run(specs);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].ratio(), expected[i]) << specs[i].label();
+    }
+  }
+}
+
+TEST(ExperimentEngineTest, ThreadCountDoesNotChangeAnyBit) {
+  ScenarioGrid grid = small_fig3_grid();
+  grid.sizes = {50, 70};
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+
+  const ExperimentEngine serial({.threads = 1});
+  const ExperimentEngine sharded({.threads = 5});
+  EXPECT_EQ(serial.thread_count(), 1u);
+  EXPECT_EQ(sharded.thread_count(), 5u);
+
+  const std::vector<ScenarioResult> a = serial.run(specs);
+  const std::vector<ScenarioResult> b = sharded.run(specs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].evaluation.expected_makespan, b[i].evaluation.expected_makespan);
+    EXPECT_EQ(a[i].evaluation.ratio, b[i].evaluation.ratio);
+    EXPECT_EQ(a[i].evaluation.fault_free_time, b[i].evaluation.fault_free_time);
+    EXPECT_EQ(a[i].evaluation.checkpoint_count, b[i].evaluation.checkpoint_count);
+    EXPECT_EQ(a[i].linearization, b[i].linearization);
+    EXPECT_EQ(a[i].best_budget, b[i].best_budget);
+  }
+}
+
+TEST(ExperimentEngineTest, RunHeuristicsMatchesSerialRunner) {
+  const TaskGraph graph = serial_instance(WorkflowKind::cybershake, 70, ScenarioGrid{});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  HeuristicOptions options;
+  options.sweep.stride = 4;
+
+  const std::vector<HeuristicResult> serial =
+      fpsched::run_heuristics(evaluator, all_heuristics(), options);
+  const ExperimentEngine engine({.threads = 4});
+  const std::vector<HeuristicResult> sharded =
+      engine.run_heuristics(evaluator, all_heuristics(), options);
+
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].spec.name(), sharded[i].spec.name());
+    EXPECT_EQ(serial[i].evaluation.expected_makespan, sharded[i].evaluation.expected_makespan);
+    EXPECT_EQ(serial[i].best_budget, sharded[i].best_budget);
+    EXPECT_EQ(serial[i].schedule.checkpointed, sharded[i].schedule.checkpointed);
+  }
+}
+
+TEST(ExperimentEngineTest, ForEachVisitsEveryIndexOnce) {
+  const ExperimentEngine engine({.threads = 3});
+  std::vector<int> visits(100, 0);
+  engine.for_each(visits.size(),
+                  [&](std::size_t i, EvaluatorWorkspace&) { visits[i] += 1; });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ExperimentEngineTest, ScenarioRngIsPerIndexDeterministic) {
+  const ScenarioGrid grid = small_fig2_grid();
+  const auto specs = grid.enumerate();
+  Rng a = specs[0].rng();
+  Rng b = specs[1].rng();
+  Rng a_again = grid.enumerate()[0].rng();
+  EXPECT_NE(a(), b());  // independent streams
+  Rng a2 = specs[0].rng();
+  EXPECT_EQ(a2(), a_again());  // reproducible
+}
+
+}  // namespace
+}  // namespace fpsched::engine

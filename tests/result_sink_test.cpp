@@ -1,0 +1,141 @@
+// Result-sink suite: panel assembly from grid results and the three
+// extracted sinks (table, ASCII chart, CSV).
+#include "engine/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "engine/engine.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::engine {
+namespace {
+
+Panel sample_panel() {
+  Panel panel;
+  panel.title = "CyberShake: test panel";
+  panel.x_label = "number of tasks";
+  panel.xs = {50, 100};
+  panel.series = {{"DF-CkptW", {1.25, 1.5}}, {"DF-CkptC", {1.375, 1.625}}};
+  return panel;
+}
+
+TEST(ResultSinkTest, TableSinkRendersHeadingHeadersAndValues) {
+  std::ostringstream os;
+  TableSink sink(os);
+  sink.emit(sample_panel(), "slug");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("=== CyberShake: test panel ==="), std::string::npos);
+  EXPECT_NE(out.find("DF-CkptW"), std::string::npos);
+  EXPECT_NE(out.find("1.2500"), std::string::npos);
+  EXPECT_NE(out.find(" 50 |"), std::string::npos);  // integer x formatting
+}
+
+TEST(ResultSinkTest, LambdaPanelsFormatXWithSixDecimals) {
+  Panel panel = sample_panel();
+  panel.x_label = "lambda";
+  panel.xs = {1e-3, 2e-3};
+  const Table table = panel_table(panel);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("0.001000"), std::string::npos);
+}
+
+TEST(ResultSinkTest, ChartSinkClipsRunawaySeries) {
+  Panel panel = sample_panel();
+  panel.series.push_back({"CkptNvr", {40.0, std::numeric_limits<double>::infinity()}});
+  std::ostringstream os;
+  AsciiChartSink sink(os);
+  sink.emit(panel, "slug");
+  EXPECT_NE(os.str().find("chart clipped"), std::string::npos);
+  EXPECT_NE(os.str().find("some points exceed the chart cap"), std::string::npos);
+}
+
+TEST(ResultSinkTest, CsvSinkWritesFileAndLogs) {
+  const std::string dir = ::testing::TempDir();
+  std::ostringstream log;
+  CsvSink sink(dir, &log);
+  sink.emit(sample_panel(), "result_sink_test_panel");
+  const std::string path = dir + "/result_sink_test_panel.csv";
+  std::ifstream csv(path);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "number of tasks,DF-CkptW,DF-CkptC");
+  EXPECT_NE(log.str().find("[csv written to"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ResultSinkTest, CsvSinkRejectsUnwritableDirectory) {
+  CsvSink sink("/nonexistent-dir-for-fpsched-test");
+  EXPECT_THROW(sink.emit(sample_panel(), "x"), Error);
+}
+
+TEST(ResultSinkTest, AssemblePanelMapsGridResultsToSeries) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage};
+  grid.sizes = {50, 60};
+  grid.lambdas = {1e-3};
+  grid.policies = {
+      ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::never}),
+      ScenarioPolicy::best_lin(CkptStrategy::by_weight),
+  };
+  const auto specs = grid.enumerate();
+  std::vector<ScenarioResult> results(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results[i].spec = specs[i];
+    results[i].evaluation.ratio = 1.0 + static_cast<double>(i);  // distinct marker per cell
+  }
+
+  const Panel panel = assemble_panel(grid, results, "title");
+  EXPECT_EQ(panel.title, "title");
+  EXPECT_EQ(panel.x_label, "number of tasks");
+  ASSERT_EQ(panel.xs.size(), 2u);
+  ASSERT_EQ(panel.series.size(), 2u);
+  EXPECT_EQ(panel.series[0].name, "DF-CkptNvr");
+  EXPECT_EQ(panel.series[1].name, "CkptW");
+  // enumerate order is x-major, policy-minor.
+  EXPECT_DOUBLE_EQ(panel.series[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(panel.series[1].values[0], 2.0);
+  EXPECT_DOUBLE_EQ(panel.series[0].values[1], 3.0);
+  EXPECT_DOUBLE_EQ(panel.series[1].values[1], 4.0);
+}
+
+TEST(ResultSinkTest, AssemblePanelValidatesShape) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage, WorkflowKind::ligo};
+  grid.sizes = {50};
+  grid.policies = {ScenarioPolicy::best_lin(CkptStrategy::by_weight)};
+  const std::vector<ScenarioResult> results(grid.scenario_count());
+  EXPECT_THROW(assemble_panel(grid, results, "t"), Error);  // two workflows
+
+  ScenarioGrid ok = grid;
+  ok.workflows = {WorkflowKind::montage};
+  const std::vector<ScenarioResult> wrong(3);
+  EXPECT_THROW(assemble_panel(ok, wrong, "t"), Error);  // result count mismatch
+}
+
+TEST(ResultSinkTest, EndToEndGridToPanel) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage};
+  grid.sizes = {50};
+  grid.lambdas = {1e-3};
+  grid.stride = 8;
+  grid.policies = {
+      ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::by_weight})};
+  const ExperimentEngine engine({.threads = 2});
+  const auto results = engine.run(grid);
+  const Panel panel = assemble_panel(grid, results, "Montage: smoke");
+  ASSERT_EQ(panel.series.size(), 1u);
+  ASSERT_EQ(panel.series[0].values.size(), 1u);
+  EXPECT_GT(panel.series[0].values[0], 1.0);  // checkpoints + failures cost something
+  EXPECT_TRUE(std::isfinite(panel.series[0].values[0]));
+}
+
+}  // namespace
+}  // namespace fpsched::engine
