@@ -16,6 +16,9 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   cli.add_option("weight-cv", "0.2", "coefficient of variation of task weights");
   cli.add_option("csv", "", "directory for CSV output (created files: <figure>.csv)");
   cli.add_option("threads", "0", "scenario-shard worker threads (0 = all cores)");
+  cli.add_flag("no-instance-cache",
+               "re-generate and re-linearize the instance for every scenario "
+               "(the pre-cache engine path; results are identical)");
   cli.add_flag("quick", "small grid + strided sweep for a fast smoke run");
   if (!cli.parse(argc, argv)) return std::nullopt;
 
@@ -34,6 +37,7 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
     throw InvalidArgument("option --csv: '" + options.csv_dir + "' is not a directory");
   }
   options.threads = cli.get_count("threads");
+  options.instance_cache = !cli.get_flag("no-instance-cache");
   if (cli.get_flag("quick")) {
     options.sizes = {50, 100, 200, 300};
     options.stride = std::max<std::size_t>(options.stride, 4);
@@ -42,18 +46,22 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
 }
 
 engine::ExperimentEngine make_engine(const FigureOptions& options) {
-  return engine::ExperimentEngine({.threads = options.threads});
+  return engine::ExperimentEngine(
+      {.threads = options.threads, .instance_cache = options.instance_cache});
 }
 
 namespace {
 
-/// The shared grid knobs every panel inherits from the CLI.
+/// The shared grid knobs every panel inherits from the CLI. The cost
+/// model rides on the generalized grid dimension (a one-point
+/// checkpoint-cost list) so every figure grid uses the same axis
+/// machinery; a singleton list enumerates identically to the scalar.
 engine::ScenarioGrid base_grid(WorkflowKind kind, const CostModel& cost_model,
                                const FigureOptions& options) {
   engine::ScenarioGrid grid;
   grid.workflows = {kind};
   grid.sizes = options.sizes;
-  grid.cost_model = cost_model;
+  grid.cost_models = {cost_model};
   grid.seed = options.seed;
   grid.weight_cv = options.weight_cv;
   grid.stride = options.stride;
@@ -98,6 +106,19 @@ engine::ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
   grid.sizes = {size};
   grid.lambdas = lambdas;
   grid.axis = engine::GridAxis::lambda;
+  grid.policies = best_lin_policies();
+  return grid;
+}
+
+engine::ScenarioGrid downtime_sweep_grid(WorkflowKind kind, std::size_t size, double lambda,
+                                         const std::vector<double>& downtimes,
+                                         const CostModel& cost_model,
+                                         const FigureOptions& options) {
+  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
+  grid.sizes = {size};
+  grid.lambdas = {lambda};
+  grid.downtimes = downtimes;
+  grid.axis = engine::GridAxis::downtime;
   grid.policies = best_lin_policies();
   return grid;
 }

@@ -34,6 +34,9 @@ struct FigureOptions {
   double weight_cv = 0.2;
   std::string csv_dir;       // empty = no CSV output
   std::size_t threads = 0;   // scenario-shard workers; 0 = all cores
+  /// Share materialized instances across the scenarios of a figure
+  /// (--no-instance-cache disables it; results are identical either way).
+  bool instance_cache = true;
 };
 
 /// Registers the shared options on `cli`, parses, and converts. Returns
@@ -76,6 +79,13 @@ engine::ScenarioGrid strategy_grid(WorkflowKind kind, double lambda, const CostM
 engine::ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
                                        const std::vector<double>& lambdas,
                                        const CostModel& cost_model, const FigureOptions& options);
+
+/// Grid of the downtime-sweep study (beyond the paper): fixed size and
+/// failure rate, best-linearization strategies over a downtime axis.
+engine::ScenarioGrid downtime_sweep_grid(WorkflowKind kind, std::size_t size, double lambda,
+                                         const std::vector<double>& downtimes,
+                                         const CostModel& cost_model,
+                                         const FigureOptions& options);
 
 /// Panel titles matching the paper's figure captions.
 std::string panel_title(WorkflowKind kind, const std::string& subtitle);

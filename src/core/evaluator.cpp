@@ -17,6 +17,7 @@ void EvaluatorWorkspace::resize(std::size_t n, std::size_t edges) {
   position.resize(n);
   accum.assign(n, 0.0);
   sum_prob.assign(n, 0.0);
+  expm1_wc.resize(n);
   self_loss.assign(n, 0.0);
   recovered_at.assign(n, -1);
   dfs_stack.clear();
@@ -131,12 +132,20 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
   // Zero-probability events are skipped everywhere below: their Eq.-(1)
   // term can overflow to +inf on failure-dominated segments and 0 * inf
   // would poison the sum with a NaN.
+  //
+  // expm1(lambda (w_i + delta_i c_i)) is memoized here because it is the
+  // exact factor every later pass needs whenever L^i_k == 0 — with no
+  // lost work, lambda * (0.0 + w_i + c_i) has the same bit pattern as
+  // lambda * (w_i + c_i) and e^{-lambda * 0} == 1.0, so reusing the
+  // memoized value is bit-identical while skipping both transcendentals
+  // on the (dominant) zero-loss pairs of the O(n^2) loop below.
   {
     double elapsed = 0.0;  // sum of w_j + delta_j c_j, j < i
     for (std::size_t i = 0; i < n; ++i) {
+      ws.expm1_wc[i] = std::expm1(lambda * (ws.work[i] + ws.ckpt[i]));
       const double p = std::exp(-lambda * elapsed);
       if (p > 0.0) {
-        ws.accum[i] += p * std::expm1(lambda * (ws.work[i] + ws.ckpt[i]));
+        ws.accum[i] += p * ws.expm1_wc[i];
         ws.sum_prob[i] += p;
       }
       elapsed += ws.work[i] + ws.ckpt[i];
@@ -158,8 +167,10 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
       if (base > 0.0) {
         const double p = std::exp(-lambda * span) * base;
         if (p > 0.0) {
-          ws.accum[i] += p * std::exp(-lambda * lost) *
-                         std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
+          ws.accum[i] += lost == 0.0
+                             ? p * ws.expm1_wc[i]
+                             : p * std::exp(-lambda * lost) *
+                                   std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
           ws.sum_prob[i] += p;
         }
       }
@@ -171,10 +182,12 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     // accum[i] == 0 happens only when every reachable event has zero cost
-    // (or its probability underflowed); guard against inf * 0.
-    const double xi =
-        ws.accum[i] == 0.0 ? 0.0
-                           : std::exp(lambda * ws.self_loss[i]) * rate_factor * ws.accum[i];
+    // (or its probability underflowed); guard against inf * 0. The
+    // self_loss == 0 branch elides e^{lambda * 0} == 1.0 bit-identically.
+    const double xi = ws.accum[i] == 0.0      ? 0.0
+                      : ws.self_loss[i] == 0.0 ? rate_factor * ws.accum[i]
+                                                : std::exp(lambda * ws.self_loss[i]) *
+                                                      rate_factor * ws.accum[i];
     if (per_task) (*per_task)[i] = xi;
     total += xi;
   }

@@ -71,6 +71,7 @@ class EvaluatorWorkspace {
   std::vector<std::uint32_t> position;   // vertex id -> position
   std::vector<double> accum;             // B[i]: sum of conditional terms
   std::vector<double> sum_prob;          // sum over processed k of P(Z^i_k)
+  std::vector<double> expm1_wc;          // expm1(lambda (w_i + delta_i c_i))
   std::vector<double> self_loss;         // L^i_i
   std::vector<std::int32_t> recovered_at;
   std::vector<std::uint32_t> dfs_stack;

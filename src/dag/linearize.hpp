@@ -31,6 +31,10 @@ enum class OutweightMode : std::uint8_t {
 struct LinearizeOptions {
   OutweightMode outweight = OutweightMode::direct;
   std::uint64_t seed = 42;  // only used by random_first
+
+  /// Options fully determine a method's output on a fixed DAG, so equality
+  /// is field-wise (used by the engine's instance cache key).
+  bool operator==(const LinearizeOptions&) const = default;
 };
 
 /// Short display name: "DF", "BF", "RF".

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -11,7 +12,8 @@ namespace fpsched::engine {
 
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : threads_(options.threads == 0 ? default_thread_count()
-                                    : std::max<std::size_t>(options.threads, 1)) {}
+                                    : std::max<std::size_t>(options.threads, 1)),
+      instance_cache_(options.instance_cache) {}
 
 HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace) const {
   HeuristicOptions options;
@@ -20,19 +22,18 @@ HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace)
   return options;
 }
 
-ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
-                                              EvaluatorWorkspace& workspace) const {
-  ensure(spec.stride >= 1, "scenario stride must be >= 1 (" + spec.label() + ")");
-  const TaskGraph graph = spec.instantiate();
-  const ScheduleEvaluator evaluator(graph, spec.model);
-  HeuristicOptions options = worker_options(workspace);
-  options.linearize = spec.linearize;
-  options.sweep.stride = spec.stride;
+namespace {
 
+/// The policy-selection logic shared by both run_scenario overloads.
+/// `run_one(heuristic)` must behave as run_heuristic for that heuristic on
+/// the scenario's evaluator; the overloads differ only in whether the
+/// linearization comes from an InstanceCache or is computed from scratch.
+template <typename RunFn>
+ScenarioResult execute_policy(const ScenarioSpec& spec, RunFn&& run_one) {
   ScenarioResult result;
   result.spec = spec;
   if (spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic) {
-    HeuristicResult run = run_heuristic(evaluator, spec.policy.heuristic, options);
+    HeuristicResult run = run_one(spec.policy.heuristic);
     result.evaluation = run.evaluation;
     result.linearization = spec.policy.heuristic.linearization;
     result.best_budget = run.best_budget;
@@ -43,8 +44,7 @@ ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
   // linearization with the smallest ratio. CkptNvr / CkptAlws are defined
   // with the DF linearization only (Section 5).
   if (!is_budgeted(spec.policy.strategy)) {
-    HeuristicResult run = run_heuristic(
-        evaluator, {LinearizeMethod::depth_first, spec.policy.strategy}, options);
+    HeuristicResult run = run_one({LinearizeMethod::depth_first, spec.policy.strategy});
     result.evaluation = run.evaluation;
     result.linearization = LinearizeMethod::depth_first;
     result.best_budget = run.best_budget;
@@ -52,7 +52,7 @@ ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
   }
   double best = std::numeric_limits<double>::infinity();
   for (const LinearizeMethod lin : all_linearize_methods()) {
-    HeuristicResult run = run_heuristic(evaluator, {lin, spec.policy.strategy}, options);
+    HeuristicResult run = run_one({lin, spec.policy.strategy});
     if (run.evaluation.ratio < best) {
       best = run.evaluation.ratio;
       result.evaluation = run.evaluation;
@@ -63,11 +63,94 @@ ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
   return result;
 }
 
+HeuristicOptions scenario_options(const ExperimentEngine& engine, const ScenarioSpec& spec,
+                                  EvaluatorWorkspace& workspace) {
+  ensure(spec.stride >= 1, "scenario stride must be >= 1 (" + spec.label() + ")");
+  HeuristicOptions options = engine.worker_options(workspace);
+  options.linearize = spec.linearize;
+  options.sweep.stride = spec.stride;
+  return options;
+}
+
+}  // namespace
+
+ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
+                                              EvaluatorWorkspace& workspace) const {
+  const TaskGraph graph = spec.instantiate();
+  const ScheduleEvaluator evaluator(graph, spec.model);
+  const HeuristicOptions options = scenario_options(*this, spec, workspace);
+  return execute_policy(spec, [&](const HeuristicSpec& heuristic) {
+    return run_heuristic(evaluator, heuristic, options);
+  });
+}
+
+ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
+                                              InstanceCache& cache) const {
+  ensure(cache.key() == InstanceKey::of(spec),
+         "instance cache does not match the scenario (" + spec.label() + ")");
+  const TaskGraph& graph = cache.graph_for(spec.cost_model);
+  const ScheduleEvaluator evaluator(graph, spec.model);
+  const HeuristicOptions options = scenario_options(*this, spec, cache.workspace());
+  return execute_policy(spec, [&](const HeuristicSpec& heuristic) {
+    return run_heuristic(evaluator, heuristic, cache.order(heuristic.linearization), options);
+  });
+}
+
+namespace {
+
+/// Per-worker memo of materialized instances. Sharding stays at scenario
+/// granularity (grouping work units by instance would cap parallelism at
+/// the number of distinct instances — a lambda/downtime sweep has one per
+/// panel); instead every worker lazily materializes each InstanceKey it
+/// encounters once and replays it for all of its scenarios with that key.
+/// Grids emit an instance's cells consecutively, so the last-used cache
+/// almost always hits.
+class WorkerInstanceCaches {
+ public:
+  InstanceCache& for_spec(const ScenarioSpec& spec) {
+    const InstanceKey key = InstanceKey::of(spec);
+    if (!caches_.empty() && caches_.back()->key() == key) return *caches_.back();
+    for (const auto& cache : caches_) {
+      if (cache->key() == key) return *cache;
+    }
+    caches_.push_back(std::make_unique<InstanceCache>(spec));
+    return *caches_.back();
+  }
+
+ private:
+  std::vector<std::unique_ptr<InstanceCache>> caches_;
+};
+
+}  // namespace
+
 std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> specs) const {
   std::vector<ScenarioResult> results(specs.size());
-  for_each(specs.size(), [&](std::size_t index, EvaluatorWorkspace& workspace) {
-    results[index] = run_scenario(specs[index], workspace);
-  });
+  if (!instance_cache_) {
+    for_each(specs.size(), [&](std::size_t index, EvaluatorWorkspace& workspace) {
+      results[index] = run_scenario(specs[index], workspace);
+    });
+    return results;
+  }
+
+  // Instance-sharing plan: same scenario sharding as the uncached path,
+  // with a per-worker instance memo. Every result is a pure function of
+  // its spec (the cached state is a pure function of the key), so the
+  // output — written to input-order slots — is identical for any thread
+  // count or work distribution.
+  if (threads_ <= 1 || specs.size() <= 1) {
+    WorkerInstanceCaches caches;
+    for (std::size_t index = 0; index < specs.size(); ++index) {
+      results[index] = run_scenario(specs[index], caches.for_spec(specs[index]));
+    }
+    return results;
+  }
+  std::vector<WorkerInstanceCaches> worker_caches(std::min(threads_, specs.size()));
+  parallel_for_workers(
+      0, specs.size(),
+      [&](std::size_t index, std::size_t worker) {
+        results[index] = run_scenario(specs[index], worker_caches[worker].for_spec(specs[index]));
+      },
+      threads_);
   return results;
 }
 

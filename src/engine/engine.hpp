@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "engine/instance_cache.hpp"
 #include "engine/scenario.hpp"
 #include "heuristics/heuristic.hpp"
 
@@ -25,6 +26,15 @@ struct EngineOptions {
   /// Worker threads for scenario sharding. 0 = default_thread_count()
   /// (honors FPSCHED_THREADS); 1 = serial.
   std::size_t threads = 0;
+  /// Share one materialized instance (TaskGraph + memoized linearizations
+  /// + workspace) across all scenarios with equal InstanceKeys: each
+  /// run(specs) worker generates and linearizes an instance at most once
+  /// and replays it for every policy/lambda/downtime/cost cell it is
+  /// handed (sharding stays per scenario, so parallelism is unaffected).
+  /// Results are bit-identical either way; disabling this (the
+  /// --no-instance-cache escape hatch of the benches) restores the
+  /// cache-free path, which the equivalence tests compare against.
+  bool instance_cache = true;
 };
 
 /// Outcome of one scenario.
@@ -83,11 +93,18 @@ class ExperimentEngine {
                                               const std::vector<HeuristicSpec>& specs,
                                               HeuristicOptions options = {}) const;
 
-  /// Runs one scenario on the given workspace (what each worker executes).
+  /// Runs one scenario on the given workspace (the cache-disabled worker
+  /// path: the instance is generated and linearized from scratch).
   ScenarioResult run_scenario(const ScenarioSpec& spec, EvaluatorWorkspace& workspace) const;
+
+  /// Runs one scenario against a materialized instance. `cache.key()` must
+  /// equal InstanceKey::of(spec); the graph/linearizations are replayed
+  /// from the cache, bit-identical to the workspace overload.
+  ScenarioResult run_scenario(const ScenarioSpec& spec, InstanceCache& cache) const;
 
  private:
   std::size_t threads_;
+  bool instance_cache_;
 };
 
 }  // namespace fpsched::engine

@@ -1,0 +1,40 @@
+#include "engine/instance_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace fpsched::engine {
+
+InstanceKey InstanceKey::of(const ScenarioSpec& spec) {
+  InstanceKey key;
+  key.workflow = spec.workflow;
+  key.task_count = spec.task_count;
+  key.workflow_seed = spec.workflow_seed;
+  key.weight_cv = spec.weight_cv;
+  key.linearize = spec.linearize;
+  return key;
+}
+
+InstanceCache::InstanceCache(const ScenarioSpec& spec)
+    : key_(InstanceKey::of(spec)), graph_(spec.instantiate()), applied_(spec.cost_model) {}
+
+const TaskGraph& InstanceCache::graph_for(const CostModel& model) {
+  if (!(model == applied_)) {
+    // apply_cost_model rewrites every c_i/r_i from the (model-independent)
+    // weights, so switching models is equivalent to a fresh generation.
+    graph_.apply_cost_model(model);
+    applied_ = model;
+  }
+  return graph_;
+}
+
+const std::vector<VertexId>& InstanceCache::order(LinearizeMethod method) {
+  const auto index = static_cast<std::size_t>(method);
+  ensure(index < orders_.size(), "unknown linearization method");
+  std::optional<std::vector<VertexId>>& slot = orders_[index];
+  if (!slot) {
+    slot = linearize(graph_.dag(), graph_.weights(), method, key_.linearize);
+  }
+  return *slot;
+}
+
+}  // namespace fpsched::engine

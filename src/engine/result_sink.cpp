@@ -14,11 +14,15 @@ Table panel_table(const Panel& panel) {
   std::vector<std::string> headers{panel.x_label};
   for (const PanelSeries& series : panel.series) headers.push_back(series.name);
   Table table(headers);
+  // Task counts are integers, lambdas need their leading decimals, the
+  // other axes (downtime seconds, cost-model parameters) use 3 decimals.
+  const auto format_x = [&](double x) {
+    if (panel.axis == GridAxis::task_count) return std::to_string(static_cast<long long>(x));
+    return format_double(x, panel.axis == GridAxis::lambda ? 6 : 3);
+  };
   for (std::size_t i = 0; i < panel.xs.size(); ++i) {
     std::vector<std::string> row;
-    row.push_back(panel.x_label == "lambda"
-                      ? format_double(panel.xs[i], 6)
-                      : std::to_string(static_cast<long long>(panel.xs[i])));
+    row.push_back(format_x(panel.xs[i]));
     for (const PanelSeries& series : panel.series) row.push_back(format_double(series.values[i], 4));
     table.add_row(std::move(row));
   }
@@ -31,17 +35,36 @@ Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> r
   ensure(grid.workflows.size() == 1, "assemble_panel needs a single-workflow grid");
   ensure(results.size() == grid.scenario_count(),
          "assemble_panel: results do not match the grid");
+  // One value per non-axis dimension, so the flattened result order is
+  // x-value major, policy minor regardless of which dimension is the axis.
+  const auto single = [&](GridAxis axis, std::size_t count) {
+    ensure(axis == grid.axis || count <= 1,
+           "a " + to_string(grid.axis) + " panel needs a single " + to_string(axis) + " value");
+  };
+  single(GridAxis::task_count, grid.sizes.size());
+  single(GridAxis::lambda, grid.lambdas.size());
+  single(GridAxis::downtime, grid.downtimes.size());
+  single(GridAxis::checkpoint_cost, grid.cost_models.size());
 
   Panel panel;
   panel.title = std::move(title);
-  if (grid.axis == GridAxis::task_count) {
-    ensure(grid.lambdas.size() <= 1, "a task-count panel needs a single lambda");
-    panel.x_label = "number of tasks";
-    panel.xs.assign(grid.sizes.begin(), grid.sizes.end());
-  } else {
-    ensure(grid.sizes.size() == 1, "a lambda panel needs a single task count");
-    panel.x_label = "lambda";
-    panel.xs = grid.lambdas;
+  panel.axis = grid.axis;
+  panel.x_label = to_string(grid.axis);
+  switch (grid.axis) {
+    case GridAxis::task_count:
+      panel.xs.assign(grid.sizes.begin(), grid.sizes.end());
+      break;
+    case GridAxis::lambda:
+      panel.xs = grid.lambdas;
+      break;
+    case GridAxis::downtime:
+      panel.xs = grid.downtimes;
+      break;
+    case GridAxis::checkpoint_cost:
+      // The x coordinate is the model parameter (the factor of c = f*w or
+      // the constant cost in seconds, depending on the models' kind).
+      for (const CostModel& model : grid.cost_models) panel.xs.push_back(model.parameter);
+      break;
   }
 
   // enumerate() order: x value major, policy minor (one kind, one value on

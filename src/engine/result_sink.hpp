@@ -1,7 +1,8 @@
 // Pluggable result sinks for engine output.
 //
-// A Panel is the paper's figure unit: an x grid (task counts or failure
-// rates) with one T/T_inf series per policy. Sinks render panels — a
+// A Panel is the paper's figure unit: an x grid (task counts, failure
+// rates, downtimes or checkpoint-cost parameters, per the grid's axis)
+// with one T/T_inf series per policy. Sinks render panels — a
 // fixed-width table, an ASCII chart, a CSV file — and can be composed
 // freely; the bench harness stacks all three, a future HTTP frontend could
 // stream JSON. assemble_panel() maps a grid's flattened ScenarioResults
@@ -26,19 +27,22 @@ struct PanelSeries {
 };
 
 struct Panel {
-  std::string title;    // e.g. "CyberShake: lambda=0.001, c=0.1w"
-  std::string x_label;  // "number of tasks" or "lambda"
+  std::string title;  // e.g. "CyberShake: lambda=0.001, c=0.1w"
+  /// Which grid dimension the xs came from; drives their formatting.
+  GridAxis axis = GridAxis::task_count;
+  std::string x_label;  // to_string(axis): "number of tasks", "lambda", ...
   std::vector<double> xs;
   std::vector<PanelSeries> series;
 };
 
 /// The panel as a printable/CSV-able table (x column plus one column per
-/// series; lambda grids format x with 6 decimals, size grids as integers).
+/// series; lambda grids format x with 6 decimals, size grids as integers,
+/// downtime/checkpoint-cost grids with 3 decimals).
 Table panel_table(const Panel& panel);
 
 /// Builds the panel of a single-workflow grid from the results of
 /// `ExperimentEngine::run(grid)` (same order). The grid must have exactly
-/// one workflow kind and exactly one value on its non-axis dimension.
+/// one workflow kind and at most one value on every non-axis dimension.
 Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> results,
                      std::string title);
 

@@ -48,6 +48,8 @@ Rng ScenarioSpec::rng() const {
   mix(std::bit_cast<std::uint64_t>(model.lambda()));
   mix(std::bit_cast<std::uint64_t>(model.downtime()));
   mix(std::bit_cast<std::uint64_t>(weight_cv));
+  mix(static_cast<std::uint64_t>(cost_model.kind));
+  mix(std::bit_cast<std::uint64_t>(cost_model.parameter));
   mix(static_cast<std::uint64_t>(policy.kind));
   mix(static_cast<std::uint64_t>(policy.heuristic.linearization));
   mix(static_cast<std::uint64_t>(policy.heuristic.checkpointing));
@@ -66,22 +68,47 @@ std::string ScenarioSpec::label() const {
   return os.str();
 }
 
+std::string to_string(GridAxis axis) {
+  switch (axis) {
+    case GridAxis::task_count: return "number of tasks";
+    case GridAxis::lambda: return "lambda";
+    case GridAxis::downtime: return "downtime";
+    case GridAxis::checkpoint_cost: return "checkpoint cost";
+  }
+  return "?";
+}
+
 void ScenarioGrid::validate() const {
   ensure(!workflows.empty(), "scenario grid needs at least one workflow kind");
   ensure(!sizes.empty(), "scenario grid needs at least one task count");
   ensure(!policies.empty(), "scenario grid needs at least one policy");
   ensure(stride >= 1, "scenario grid stride must be >= 1");
+  // An empty list on the axis dimension would enumerate a single implicit
+  // point (the scalar default / per-workflow lambda) — a degenerate
+  // one-point "sweep" panel that is always a caller mistake.
   ensure(axis != GridAxis::lambda || !lambdas.empty(),
          "a lambda-axis grid needs an explicit lambda list");
+  ensure(axis != GridAxis::downtime || !downtimes.empty(),
+         "a downtime-axis grid needs an explicit downtime list");
+  ensure(axis != GridAxis::checkpoint_cost || !cost_models.empty(),
+         "a checkpoint_cost-axis grid needs an explicit cost-model list");
 }
 
 std::size_t ScenarioGrid::scenario_count() const {
   const std::size_t lambda_count = lambdas.empty() ? 1 : lambdas.size();
-  return workflows.size() * sizes.size() * lambda_count * policies.size();
+  const std::size_t downtime_count = downtimes.empty() ? 1 : downtimes.size();
+  const std::size_t cost_count = cost_models.empty() ? 1 : cost_models.size();
+  return workflows.size() * sizes.size() * lambda_count * downtime_count * cost_count *
+         policies.size();
 }
 
 std::vector<ScenarioSpec> ScenarioGrid::enumerate() const {
   validate();
+  // Empty grid dimensions collapse to their scalar defaults.
+  const std::vector<double> grid_downtimes =
+      downtimes.empty() ? std::vector<double>{downtime} : downtimes;
+  const std::vector<CostModel> grid_costs =
+      cost_models.empty() ? std::vector<CostModel>{cost_model} : cost_models;
   std::vector<ScenarioSpec> specs;
   specs.reserve(scenario_count());
   for (const WorkflowKind kind : workflows) {
@@ -90,19 +117,23 @@ std::vector<ScenarioSpec> ScenarioGrid::enumerate() const {
         lambdas.empty() ? std::vector<double>{paper_lambda(kind)} : lambdas;
     for (const std::size_t size : sizes) {
       for (const double lambda : kind_lambdas) {
-        for (const ScenarioPolicy& policy : policies) {
-          ScenarioSpec spec;
-          spec.workflow = kind;
-          spec.task_count = size;
-          spec.model = FailureModel(lambda, downtime);
-          spec.cost_model = cost_model;
-          spec.policy = policy;
-          spec.workflow_seed = seed;
-          spec.weight_cv = weight_cv;
-          spec.stride = stride;
-          spec.linearize = linearize;
-          spec.scenario_index = specs.size();
-          specs.push_back(spec);
+        for (const double down : grid_downtimes) {
+          for (const CostModel& cost : grid_costs) {
+            for (const ScenarioPolicy& policy : policies) {
+              ScenarioSpec spec;
+              spec.workflow = kind;
+              spec.task_count = size;
+              spec.model = FailureModel(lambda, down);
+              spec.cost_model = cost;
+              spec.policy = policy;
+              spec.workflow_seed = seed;
+              spec.weight_cv = weight_cv;
+              spec.stride = stride;
+              spec.linearize = linearize;
+              spec.scenario_index = specs.size();
+              specs.push_back(spec);
+            }
+          }
         }
       }
     }

@@ -74,18 +74,30 @@ struct ScenarioSpec {
 };
 
 /// Which grid dimension forms the x axis of assembled panels.
-enum class GridAxis : std::uint8_t { task_count, lambda };
+enum class GridAxis : std::uint8_t { task_count, lambda, downtime, checkpoint_cost };
 
-/// The declarative cross product kind x size x lambda x policy. Scenario
-/// order is fixed (kind-major, then axis value, then policy) so a grid
-/// always flattens to the same list.
+/// Axis label used by panels and tables ("number of tasks", "lambda",
+/// "downtime", "checkpoint cost").
+std::string to_string(GridAxis axis);
+
+/// The declarative cross product kind x size x lambda x downtime x
+/// cost model x policy. Scenario order is fixed (kind-major, then size,
+/// lambda, downtime, cost model, then policy) so a grid always flattens to
+/// the same list; grids whose extra dimensions are left at their scalar
+/// defaults keep the historical kind x size x lambda x policy order.
 struct ScenarioGrid {
   std::vector<WorkflowKind> workflows;
   std::vector<std::size_t> sizes{100};
   /// Failure rates; empty = the paper's per-workflow lambda
   /// (`paper_lambda`).
   std::vector<double> lambdas;
+  /// Downtime grid (seconds after each failure); empty = the scalar
+  /// `downtime` below. Required non-empty for a downtime-axis grid.
+  std::vector<double> downtimes;
   double downtime = 0.0;
+  /// Cost-model grid; empty = the scalar `cost_model` below. Required
+  /// non-empty for a checkpoint_cost-axis grid.
+  std::vector<CostModel> cost_models;
   CostModel cost_model = CostModel::proportional(0.1);
   std::vector<ScenarioPolicy> policies;
 

@@ -31,9 +31,14 @@ HeuristicResult run_heuristic(const ScheduleEvaluator& evaluator, const Heuristi
                               const HeuristicOptions& options) {
   const TaskGraph& graph = evaluator.graph();
   const std::vector<double> weights = graph.weights();
-  std::vector<VertexId> order =
+  const std::vector<VertexId> order =
       linearize(graph.dag(), weights, spec.linearization, options.linearize);
+  return run_heuristic(evaluator, spec, order, options);
+}
 
+HeuristicResult run_heuristic(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
+                              const std::vector<VertexId>& order,
+                              const HeuristicOptions& options) {
   SweepResult sweep = sweep_checkpoint_budget(evaluator, order, spec.checkpointing, options.sweep);
 
   HeuristicResult result;

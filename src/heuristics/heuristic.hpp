@@ -48,6 +48,15 @@ struct HeuristicResult {
 HeuristicResult run_heuristic(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
                               const HeuristicOptions& options = {});
 
+/// As above, but with the linearization precomputed by the caller. `order`
+/// must equal linearize(graph, weights, spec.linearization,
+/// options.linearize); the engine's instance cache uses this to amortize
+/// linearization work across the scenarios sharing an instance. Results
+/// are bit-identical to the linearizing overload.
+HeuristicResult run_heuristic(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
+                              const std::vector<VertexId>& order,
+                              const HeuristicOptions& options = {});
+
 /// Runs every heuristic in `specs` and returns results in the same order.
 std::vector<HeuristicResult> run_heuristics(const ScheduleEvaluator& evaluator,
                                             const std::vector<HeuristicSpec>& specs,

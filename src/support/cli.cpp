@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -7,6 +8,38 @@
 #include "support/error.hpp"
 
 namespace fpsched {
+
+namespace {
+
+/// strtoll with full-string and range checking. strtoll clamps
+/// out-of-range input to LLONG_MIN/LLONG_MAX and only reports it via
+/// errno, so errno must be cleared first and ERANGE rejected — otherwise
+/// `--trials 99999999999999999999` silently becomes LLONG_MAX.
+std::int64_t parse_int(const std::string& raw, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0')
+    throw InvalidArgument(what + " expects an integer, got '" + raw + "'");
+  if (errno == ERANGE)
+    throw InvalidArgument(what + ": integer out of range: '" + raw + "'");
+  return v;
+}
+
+/// strtod with the same discipline: overflow clamps to +-HUGE_VAL (and
+/// underflow to a denormal or zero) with only errno raised.
+double parse_double(const std::string& raw, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0')
+    throw InvalidArgument(what + " expects a number, got '" + raw + "'");
+  if (errno == ERANGE)
+    throw InvalidArgument(what + ": number out of range: '" + raw + "'");
+  return v;
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program_summary) : summary_(std::move(program_summary)) {}
 
@@ -67,21 +100,11 @@ std::string CliParser::get_string(const std::string& name) const {
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
-  const std::string raw = get_string(name);
-  char* end = nullptr;
-  const long long v = std::strtoll(raw.c_str(), &end, 10);
-  if (end == raw.c_str() || *end != '\0')
-    throw InvalidArgument("option --" + name + " expects an integer, got '" + raw + "'");
-  return v;
+  return parse_int(get_string(name), "option --" + name);
 }
 
 double CliParser::get_double(const std::string& name) const {
-  const std::string raw = get_string(name);
-  char* end = nullptr;
-  const double v = std::strtod(raw.c_str(), &end);
-  if (end == raw.c_str() || *end != '\0')
-    throw InvalidArgument("option --" + name + " expects a number, got '" + raw + "'");
-  return v;
+  return parse_double(get_string(name), "option --" + name);
 }
 
 bool CliParser::get_flag(const std::string& name) const { return get_string(name) == "true"; }
@@ -96,37 +119,41 @@ std::size_t CliParser::get_count(const std::string& name, std::size_t min_value)
 }
 
 namespace {
-std::vector<std::string> split_commas(const std::string& raw) {
+/// Strict comma splitting: empty segments ("1,,2", a trailing comma, a
+/// bare ",") and an empty resulting list are user errors, not values to
+/// drop silently — "--sizes 100,,200" almost certainly lost a number.
+std::vector<std::string> split_commas(const std::string& raw, const std::string& what) {
   std::vector<std::string> parts;
   std::stringstream ss(raw);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) parts.push_back(item);
+    if (item.empty())
+      throw InvalidArgument(what + ": empty list element in '" + raw + "'");
+    parts.push_back(item);
   }
+  // getline yields nothing for "" and swallows a trailing empty segment
+  // ("1,2,"); catch both.
+  if (parts.empty()) throw InvalidArgument(what + ": expected a non-empty comma-separated list");
+  if (!raw.empty() && raw.back() == ',')
+    throw InvalidArgument(what + ": empty list element in '" + raw + "'");
   return parts;
 }
 }  // namespace
 
 std::vector<std::int64_t> CliParser::get_int_list(const std::string& name) const {
   std::vector<std::int64_t> out;
-  for (const auto& part : split_commas(get_string(name))) {
-    char* end = nullptr;
-    const long long v = std::strtoll(part.c_str(), &end, 10);
-    if (end == part.c_str() || *end != '\0')
-      throw InvalidArgument("option --" + name + ": bad integer '" + part + "'");
-    out.push_back(v);
+  const std::string what = "option --" + name;
+  for (const auto& part : split_commas(get_string(name), what)) {
+    out.push_back(parse_int(part, what));
   }
   return out;
 }
 
 std::vector<double> CliParser::get_double_list(const std::string& name) const {
   std::vector<double> out;
-  for (const auto& part : split_commas(get_string(name))) {
-    char* end = nullptr;
-    const double v = std::strtod(part.c_str(), &end);
-    if (end == part.c_str() || *end != '\0')
-      throw InvalidArgument("option --" + name + ": bad number '" + part + "'");
-    out.push_back(v);
+  const std::string what = "option --" + name;
+  for (const auto& part : split_commas(get_string(name), what)) {
+    out.push_back(parse_double(part, what));
   }
   return out;
 }

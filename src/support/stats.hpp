@@ -18,7 +18,9 @@ class RunningStats {
   void merge(const RunningStats& other);
 
   std::size_t count() const { return count_; }
-  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// NaN when no sample was pushed, like min()/max() — an empty
+  /// accumulator must not masquerade as a real 0.0 in rendered cells.
+  double mean() const { return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_; }
   /// Unbiased sample variance (0 when fewer than two samples).
   double variance() const;
   double stddev() const;

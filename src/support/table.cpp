@@ -1,6 +1,7 @@
 #include "support/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -10,6 +11,10 @@
 namespace fpsched {
 
 std::string format_double(double value, int digits) {
+  // Normalize NaN: iostreams print "-nan" when the sign bit is set (e.g.
+  // the NaN an empty RunningStats returns after arithmetic), which reads
+  // like a numeric value in tables/CSV.
+  if (std::isnan(value)) return "nan";
   std::ostringstream os;
   os << std::fixed << std::setprecision(digits) << value;
   return os.str();

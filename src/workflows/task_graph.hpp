@@ -33,6 +33,10 @@ struct CostModel {
   static CostModel proportional(double factor) { return {Kind::proportional, factor}; }
   static CostModel constant(double value) { return {Kind::constant, value}; }
 
+  /// Two models derive identical costs iff kind and parameter agree (lets
+  /// the engine's instance cache skip redundant apply_cost_model calls).
+  bool operator==(const CostModel&) const = default;
+
   std::string describe() const;
 };
 

@@ -85,5 +85,56 @@ TEST(Cli, Errors) {
   }
 }
 
+TEST(Cli, OutOfRangeNumbersAreRejected) {
+  // strtoll/strtod clamp out-of-range input and only raise errno; the
+  // parser must reject instead of silently returning LLONG_MAX/HUGE_VAL.
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--tasks", "99999999999999999999"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_THROW(parser.get_int("tasks"), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--tasks", "-99999999999999999999"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_THROW(parser.get_int("tasks"), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--lambda", "1e999"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_THROW(parser.get_double("lambda"), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--sizes", "1,99999999999999999999"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_THROW(parser.get_int_list("sizes"), InvalidArgument);
+  }
+  {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--lambda", "1e-4"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_DOUBLE_EQ(parser.get_double("lambda"), 1e-4);  // in-range still fine
+    EXPECT_EQ(parser.get_double_list("lambda"), std::vector<double>{1e-4});
+  }
+}
+
+TEST(Cli, EmptyListSegmentsAreRejected) {
+  const auto expect_list_throws = [](const char* value) {
+    CliParser parser = make_parser();
+    const char* argv[] = {"prog", "--sizes", value};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_THROW(parser.get_int_list("sizes"), InvalidArgument) << "value: '" << value << "'";
+    EXPECT_THROW(parser.get_double_list("sizes"), InvalidArgument) << "value: '" << value << "'";
+  };
+  expect_list_throws("100,,200");  // interior empty segment
+  expect_list_throws("100,200,");  // trailing comma
+  expect_list_throws(",100");      // leading comma
+  expect_list_throws(",");         // only separators
+  expect_list_throws("");          // empty list
+}
+
 }  // namespace
 }  // namespace fpsched

@@ -122,7 +122,33 @@ TEST(ScenarioGridTest, MalformedGridsAreRejected) {
   ScenarioGrid lambda_axis = small_fig2_grid();
   lambda_axis.axis = GridAxis::lambda;
   lambda_axis.lambdas.clear();
+  // An empty axis list would enumerate one implicit point — a degenerate
+  // one-point "sweep" — and must be rejected, not silently accepted.
   EXPECT_THROW(lambda_axis.enumerate(), Error);
+
+  ScenarioGrid downtime_axis = small_fig2_grid();
+  downtime_axis.axis = GridAxis::downtime;
+  EXPECT_THROW(downtime_axis.enumerate(), Error);  // empty downtime list
+
+  ScenarioGrid cost_axis = small_fig2_grid();
+  cost_axis.axis = GridAxis::checkpoint_cost;
+  EXPECT_THROW(cost_axis.enumerate(), Error);  // empty cost-model list
+}
+
+TEST(ScenarioGridTest, DowntimeAndCostModelDimensionsEnumerate) {
+  ScenarioGrid grid = small_fig3_grid();
+  grid.downtimes = {0.0, 120.0};
+  grid.cost_models = {CostModel::proportional(0.01), CostModel::proportional(0.1),
+                      CostModel::constant(5.0)};
+  const auto specs = grid.enumerate();
+  ASSERT_EQ(specs.size(), grid.scenario_count());
+  ASSERT_EQ(specs.size(), 1u * 1u * 2u * 3u * grid.policies.size());
+  // Nesting order: downtime outer, cost model inner, policy innermost.
+  EXPECT_DOUBLE_EQ(specs[0].model.downtime(), 0.0);
+  EXPECT_TRUE(specs[0].cost_model == CostModel::proportional(0.01));
+  EXPECT_TRUE(specs[grid.policies.size()].cost_model == CostModel::proportional(0.1));
+  EXPECT_DOUBLE_EQ(specs[3 * grid.policies.size()].model.downtime(), 120.0);
+  for (std::size_t i = 0; i < specs.size(); ++i) EXPECT_EQ(specs[i].scenario_index, i);
 }
 
 TEST(SweepOptionsTest, ZeroStrideIsRejected) {
@@ -254,6 +280,120 @@ TEST(ExperimentEngineTest, ForEachVisitsEveryIndexOnce) {
   engine.for_each(visits.size(),
                   [&](std::size_t i, EvaluatorWorkspace&) { visits[i] += 1; });
   for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(InstanceKeyTest, ExcludesFailureCostModelAndPolicyFields) {
+  const ScenarioGrid grid = small_fig2_grid();
+  ScenarioSpec spec = grid.enumerate().front();
+  const InstanceKey key = InstanceKey::of(spec);
+
+  // Fields that do NOT change the instance: failure model, cost model,
+  // policy, stride, grid position.
+  ScenarioSpec same = spec;
+  same.model = FailureModel(9e-2, 3600.0);
+  same.cost_model = CostModel::constant(7.0);
+  same.policy = ScenarioPolicy::best_lin(CkptStrategy::periodic);
+  same.stride = 17;
+  same.scenario_index = 999;
+  EXPECT_TRUE(InstanceKey::of(same) == key);
+
+  // Fields that DO change the generated graph or the linearizations.
+  ScenarioSpec other = spec;
+  other.workflow = WorkflowKind::genome;
+  EXPECT_FALSE(InstanceKey::of(other) == key);
+  other = spec;
+  other.task_count += 10;
+  EXPECT_FALSE(InstanceKey::of(other) == key);
+  other = spec;
+  other.workflow_seed += 1;
+  EXPECT_FALSE(InstanceKey::of(other) == key);
+  other = spec;
+  other.weight_cv = 0.5;
+  EXPECT_FALSE(InstanceKey::of(other) == key);
+  other = spec;
+  other.linearize.seed += 1;
+  EXPECT_FALSE(InstanceKey::of(other) == key);
+  other = spec;
+  other.linearize.outweight = OutweightMode::descendants;
+  EXPECT_FALSE(InstanceKey::of(other) == key);
+}
+
+TEST(InstanceCacheTest, ReplaysGraphAndOrdersAcrossCostModels) {
+  const ScenarioGrid grid = small_fig2_grid();
+  ScenarioSpec spec = grid.enumerate().front();
+  InstanceCache cache(spec);
+
+  const TaskGraph direct = spec.instantiate();
+  const TaskGraph& cached = cache.graph_for(spec.cost_model);
+  ASSERT_EQ(cached.task_count(), direct.task_count());
+  for (VertexId v = 0; v < direct.task_count(); ++v) {
+    EXPECT_EQ(cached.weight(v), direct.weight(v));
+    EXPECT_EQ(cached.ckpt_cost(v), direct.ckpt_cost(v));
+  }
+
+  // Switching the cost model matches a from-scratch generation bit for bit.
+  ScenarioSpec constant_spec = spec;
+  constant_spec.cost_model = CostModel::constant(3.0);
+  const TaskGraph direct_constant = constant_spec.instantiate();
+  const TaskGraph& cached_constant = cache.graph_for(constant_spec.cost_model);
+  for (VertexId v = 0; v < direct_constant.task_count(); ++v) {
+    EXPECT_EQ(cached_constant.weight(v), direct_constant.weight(v));
+    EXPECT_EQ(cached_constant.ckpt_cost(v), direct_constant.ckpt_cost(v));
+    EXPECT_EQ(cached_constant.recovery_cost(v), direct_constant.recovery_cost(v));
+  }
+
+  // Memoized linearizations equal fresh ones (weights are cost independent).
+  for (const LinearizeMethod method : all_linearize_methods()) {
+    const auto fresh = linearize(direct.dag(), direct.weights(), method, spec.linearize);
+    const VertexId* first_call_data = cache.order(method).data();
+    EXPECT_EQ(cache.order(method), fresh) << to_string(method);
+    // Memoized: a recomputation would allocate a new buffer while the old
+    // one is still alive, so repeated calls must return the same storage.
+    EXPECT_EQ(cache.order(method).data(), first_call_data) << to_string(method);
+  }
+}
+
+TEST(ExperimentEngineTest, InstanceCachePathMatchesUncachedBitForBit) {
+  // A grid that stresses sharing: several policies, lambdas, downtimes and
+  // cost models all mapping onto the same two instances.
+  ScenarioGrid grid = small_fig3_grid();
+  grid.sizes = {50, 60};
+  grid.lambdas = {1e-3, 5e-3};
+  grid.downtimes = {0.0, 300.0};
+  grid.cost_models = {CostModel::proportional(0.1), CostModel::constant(2.0)};
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+
+  const ExperimentEngine reference({.threads = 1, .instance_cache = false});
+  const std::vector<ScenarioResult> expected = reference.run(specs);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool cache : {true, false}) {
+      const ExperimentEngine engine({.threads = threads, .instance_cache = cache});
+      const std::vector<ScenarioResult> results = engine.run(specs);
+      ASSERT_EQ(results.size(), expected.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].evaluation.expected_makespan,
+                  expected[i].evaluation.expected_makespan)
+            << "threads=" << threads << " cache=" << cache << " " << specs[i].label();
+        EXPECT_EQ(results[i].evaluation.ratio, expected[i].evaluation.ratio);
+        EXPECT_EQ(results[i].evaluation.fault_free_time, expected[i].evaluation.fault_free_time);
+        EXPECT_EQ(results[i].evaluation.checkpoint_count,
+                  expected[i].evaluation.checkpoint_count);
+        EXPECT_EQ(results[i].linearization, expected[i].linearization);
+        EXPECT_EQ(results[i].best_budget, expected[i].best_budget);
+      }
+    }
+  }
+}
+
+TEST(ExperimentEngineTest, CachedRunScenarioRejectsMismatchedCache) {
+  const ScenarioGrid grid = small_fig2_grid();
+  const auto specs = grid.enumerate();
+  InstanceCache cache(specs.front());
+  ScenarioSpec other = specs.front();
+  other.workflow_seed += 1;  // different instance
+  const ExperimentEngine engine({.threads = 1});
+  EXPECT_THROW(engine.run_scenario(other, cache), Error);
 }
 
 TEST(ExperimentEngineTest, ScenarioRngIsPerIndexDeterministic) {

@@ -38,6 +38,7 @@ TEST(ResultSinkTest, TableSinkRendersHeadingHeadersAndValues) {
 
 TEST(ResultSinkTest, LambdaPanelsFormatXWithSixDecimals) {
   Panel panel = sample_panel();
+  panel.axis = GridAxis::lambda;
   panel.x_label = "lambda";
   panel.xs = {1e-3, 2e-3};
   const Table table = panel_table(panel);
@@ -104,6 +105,62 @@ TEST(ResultSinkTest, AssemblePanelMapsGridResultsToSeries) {
   EXPECT_DOUBLE_EQ(panel.series[1].values[0], 2.0);
   EXPECT_DOUBLE_EQ(panel.series[0].values[1], 3.0);
   EXPECT_DOUBLE_EQ(panel.series[1].values[1], 4.0);
+}
+
+TEST(ResultSinkTest, AssemblePanelMapsDowntimeAxisToX) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage};
+  grid.sizes = {50};
+  grid.lambdas = {1e-3};
+  grid.downtimes = {0.0, 300.0, 900.0};
+  grid.axis = GridAxis::downtime;
+  grid.policies = {ScenarioPolicy::best_lin(CkptStrategy::by_weight)};
+  const auto specs = grid.enumerate();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_DOUBLE_EQ(specs[1].model.downtime(), 300.0);
+  std::vector<ScenarioResult> results(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results[i].spec = specs[i];
+    results[i].evaluation.ratio = 1.0 + static_cast<double>(i);
+  }
+
+  const Panel panel = assemble_panel(grid, results, "downtime panel");
+  EXPECT_EQ(panel.x_label, "downtime");
+  ASSERT_EQ(panel.xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(panel.xs[1], 300.0);
+  EXPECT_DOUBLE_EQ(panel.series[0].values[2], 3.0);
+}
+
+TEST(ResultSinkTest, AssemblePanelMapsCostModelAxisToParameter) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage};
+  grid.sizes = {50};
+  grid.lambdas = {1e-3};
+  grid.cost_models = {CostModel::proportional(0.01), CostModel::proportional(0.1)};
+  grid.axis = GridAxis::checkpoint_cost;
+  grid.policies = {ScenarioPolicy::best_lin(CkptStrategy::by_weight)};
+  const auto specs = grid.enumerate();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_TRUE(specs[1].cost_model == CostModel::proportional(0.1));
+  std::vector<ScenarioResult> results(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) results[i].spec = specs[i];
+
+  const Panel panel = assemble_panel(grid, results, "cost panel");
+  EXPECT_EQ(panel.x_label, "checkpoint cost");
+  ASSERT_EQ(panel.xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(panel.xs[0], 0.01);
+  EXPECT_DOUBLE_EQ(panel.xs[1], 0.1);
+}
+
+TEST(ResultSinkTest, AssemblePanelRejectsMultiValuedNonAxisDimensions) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::montage};
+  grid.sizes = {50, 60};
+  grid.lambdas = {1e-3};
+  grid.downtimes = {0.0, 60.0};  // second free dimension under task_count axis
+  grid.policies = {ScenarioPolicy::best_lin(CkptStrategy::by_weight)};
+  const std::vector<ScenarioResult> results(grid.scenario_count());
+  EXPECT_THROW(assemble_panel(grid, results, "t"), Error);
 }
 
 TEST(ResultSinkTest, AssemblePanelValidatesShape) {

@@ -14,11 +14,19 @@ namespace {
 TEST(RunningStats, EmptyState) {
   const RunningStats stats;
   EXPECT_EQ(stats.count(), 0u);
-  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  // An empty accumulator has no mean; 0.0 would let an empty cell pose as
+  // a real measurement in rendered tables.
+  EXPECT_TRUE(std::isnan(stats.mean()));
   EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
   EXPECT_TRUE(std::isnan(stats.min()));
   EXPECT_TRUE(std::isnan(stats.max()));
   EXPECT_DOUBLE_EQ(stats.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, MeanRecoversAfterFirstPush) {
+  RunningStats stats;
+  stats.push(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
 }
 
 TEST(RunningStats, MatchesDirectComputation) {

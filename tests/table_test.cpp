@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -14,6 +15,13 @@ TEST(FormatDouble, FixedPrecision) {
   EXPECT_EQ(format_double(1.23456, 3), "1.235");
   EXPECT_EQ(format_double(2.0, 1), "2.0");
   EXPECT_EQ(format_double(-0.5, 2), "-0.50");
+}
+
+TEST(FormatDouble, NanRendersWithoutSign) {
+  // Empty-accumulator NaNs must render recognizably (never as "-nan" or a
+  // digit string) in tables and CSV.
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN(), 4), "nan");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::quiet_NaN(), 4), "nan");
 }
 
 TEST(Table, RejectsEmptyHeaderAndBadRows) {
