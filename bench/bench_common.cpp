@@ -1,12 +1,20 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
-#include <filesystem>
+#include <iostream>
 #include <ostream>
+#include <vector>
 
+#include "engine/result_sink.hpp"
 #include "support/error.hpp"
 
 namespace fpsched::bench {
+
+void add_sweep_options(CliParser& cli) {
+  cli.add_option("tasks", "200", "fixed workflow size for the sweep experiments (fig7/downtime)");
+  cli.add_option("downtimes", "0,60,300,900,3600",
+                 "downtime grid in seconds (downtime sweep only)");
+}
 
 std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
                                                   const char* const* argv) {
@@ -32,12 +40,18 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   options.weight_cv = cli.get_double("weight-cv");
   options.csv_dir = cli.get_string("csv");
-  // Fail before computing a possibly hours-long grid, not after.
-  if (!options.csv_dir.empty() && !std::filesystem::is_directory(options.csv_dir)) {
-    throw InvalidArgument("option --csv: '" + options.csv_dir + "' is not a directory");
-  }
+  // Fail before computing a possibly hours-long grid, not after: claim the
+  // output directory up front (creating it when missing).
+  if (!options.csv_dir.empty()) engine::ensure_output_directory(options.csv_dir);
   options.threads = cli.get_count("threads");
   options.instance_cache = !cli.get_flag("no-instance-cache");
+  if (cli.has_option("tasks")) options.tasks = cli.get_count("tasks", 1);
+  if (cli.has_option("downtimes")) {
+    options.downtimes = cli.get_double_list("downtimes");
+    for (const double d : options.downtimes) {
+      if (d < 0.0) throw InvalidArgument("option --downtimes: downtimes must be >= 0");
+    }
+  }
   if (cli.get_flag("quick")) {
     options.sizes = {50, 100, 200, 300};
     options.stride = std::max<std::size_t>(options.stride, 4);
@@ -50,120 +64,35 @@ engine::ExperimentEngine make_engine(const FigureOptions& options) {
       {.threads = options.threads, .instance_cache = options.instance_cache});
 }
 
-namespace {
-
-/// The shared grid knobs every panel inherits from the CLI. The cost
-/// model rides on the generalized grid dimension (a one-point
-/// checkpoint-cost list) so every figure grid uses the same axis
-/// machinery; a singleton list enumerates identically to the scalar.
-engine::ScenarioGrid base_grid(WorkflowKind kind, const CostModel& cost_model,
-                               const FigureOptions& options) {
-  engine::ScenarioGrid grid;
-  grid.workflows = {kind};
-  grid.sizes = options.sizes;
-  grid.cost_models = {cost_model};
-  grid.seed = options.seed;
-  grid.weight_cv = options.weight_cv;
-  grid.stride = options.stride;
-  return grid;
-}
-
-std::vector<engine::ScenarioPolicy> best_lin_policies() {
-  std::vector<engine::ScenarioPolicy> policies;
-  for (const CkptStrategy strategy : all_ckpt_strategies())
-    policies.push_back(engine::ScenarioPolicy::best_lin(strategy));
-  return policies;
-}
-
-}  // namespace
-
-engine::ScenarioGrid linearization_grid(WorkflowKind kind, double lambda,
-                                        const CostModel& cost_model,
-                                        const FigureOptions& options) {
-  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
-  grid.lambdas = {lambda};
-  for (const LinearizeMethod lin : all_linearize_methods()) {
-    for (const CkptStrategy strategy : {CkptStrategy::by_weight, CkptStrategy::by_cost}) {
-      grid.policies.push_back(engine::ScenarioPolicy::fixed({lin, strategy}));
-    }
-  }
-  return grid;
-}
-
-engine::ScenarioGrid strategy_grid(WorkflowKind kind, double lambda, const CostModel& cost_model,
-                                   const FigureOptions& options) {
-  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
-  grid.lambdas = {lambda};
-  grid.policies = best_lin_policies();
-  return grid;
-}
-
-engine::ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
-                                       const std::vector<double>& lambdas,
-                                       const CostModel& cost_model,
-                                       const FigureOptions& options) {
-  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
-  grid.sizes = {size};
-  grid.lambdas = lambdas;
-  grid.axis = engine::GridAxis::lambda;
-  grid.policies = best_lin_policies();
-  return grid;
-}
-
-engine::ScenarioGrid downtime_sweep_grid(WorkflowKind kind, std::size_t size, double lambda,
-                                         const std::vector<double>& downtimes,
-                                         const CostModel& cost_model,
-                                         const FigureOptions& options) {
-  engine::ScenarioGrid grid = base_grid(kind, cost_model, options);
-  grid.sizes = {size};
-  grid.lambdas = {lambda};
-  grid.downtimes = downtimes;
-  grid.axis = engine::GridAxis::downtime;
-  grid.policies = best_lin_policies();
-  return grid;
-}
-
-std::string panel_title(WorkflowKind kind, const std::string& subtitle) {
-  return to_string(kind) + ": " + subtitle;
-}
-
-std::string best_lin_panel_title(WorkflowKind kind, const std::string& subtitle) {
-  return to_string(kind) + ": " + subtitle + " (best linearization per strategy)";
-}
-
-void emit_panel(std::ostream& os, const engine::Panel& panel, const FigureOptions& options,
-                const std::string& slug) {
+void run_figure_experiment(std::ostream& os, const engine::Experiment& experiment,
+                           const FigureOptions& options) {
   engine::TableSink table(os);
-  table.emit(panel, slug);
   engine::AsciiChartSink chart(os);
-  chart.emit(panel, slug);
+  std::optional<engine::CsvSink> csv;
+  std::vector<engine::ResultSink*> sinks{&table, &chart};
   if (!options.csv_dir.empty()) {
-    engine::CsvSink csv(options.csv_dir, &os);
-    csv.emit(panel, slug);
+    csv.emplace(options.csv_dir, &os);
+    sinks.push_back(&*csv);
   }
+  engine::run_experiment(experiment, options, sinks, &os);
 }
 
-void run_figure(std::ostream& os, std::span<const PanelSpec> panels,
-                const FigureOptions& options) {
-  // Flatten every panel's grid into one list so the whole figure shards
-  // across the engine's workers as a single batch.
-  std::vector<engine::ScenarioSpec> specs;
-  std::vector<std::size_t> offsets;
-  for (const PanelSpec& panel : panels) {
-    offsets.push_back(specs.size());
-    const std::vector<engine::ScenarioSpec> grid_specs = panel.grid.enumerate();
-    specs.insert(specs.end(), grid_specs.begin(), grid_specs.end());
+int figure_main(const std::string& name, int argc, const char* const* argv) {
+  try {
+    const engine::Experiment& experiment = engine::ExperimentRegistry::global().find(name);
+    CliParser cli(experiment.summary);
+    // Only sweep figures take --tasks/--downtimes; the size-axis binaries
+    // keep rejecting them (a silently ignored option reads as a resized
+    // grid that never happened).
+    if (experiment.sweep_options) add_sweep_options(cli);
+    const auto options = parse_figure_options(cli, argc, argv);
+    if (!options) return 0;
+    run_figure_experiment(std::cout, experiment, *options);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-
-  const engine::ExperimentEngine eng = make_engine(options);
-  const std::vector<engine::ScenarioResult> results = eng.run(specs);
-
-  for (std::size_t i = 0; i < panels.size(); ++i) {
-    const PanelSpec& panel = panels[i];
-    const std::span<const engine::ScenarioResult> slice(results.data() + offsets[i],
-                                                        panel.grid.scenario_count());
-    emit_panel(os, engine::assemble_panel(panel.grid, slice, panel.title), options, panel.slug);
-  }
+  return 0;
 }
 
 TaskGraph make_instance(WorkflowKind kind, std::size_t size, const CostModel& cost_model,

@@ -1,95 +1,57 @@
-// Shared harness for the figure-reproduction benches — a thin adapter
-// over the experiment engine.
+// Shared CLI harness for the figure-reproduction benches — a thin
+// adapter over the experiment registry in src/engine/.
 //
-// Every figure binary declares its panels as ScenarioGrids; run_figure()
-// flattens all of them into one scenario list, shards it across the
-// engine's workers, and emits each panel through the configured result
-// sinks (table + ASCII chart, plus CSV when requested). `--quick` shrinks
-// the grid for smoke runs; the default reproduces the paper's full grid
-// (sizes 50-700, exhaustive N-sweep). `--threads` controls the scenario
-// sharding (0 = all cores); results are identical for any thread count.
+// Every figure is registered declaratively in the engine
+// (engine::ExperimentRegistry::global()); the per-figure binaries shrink
+// to figure_main() shims that parse the shared CLI into
+// engine::FigureOptions and run the named experiment through the standard
+// sink stack (table + ASCII chart, plus CSV when requested). `--quick`
+// shrinks the grid for smoke runs; the default reproduces the paper's
+// full grid (sizes 50-700, exhaustive N-sweep). `--threads` controls the
+// scenario sharding (0 = all cores); results are identical for any
+// thread count. The fpsched_run driver shares this parser and adds
+// record-level output (NDJSON/JSON) and process sharding on top.
 #pragma once
 
-#include <cstdint>
 #include <iosfwd>
 #include <optional>
-#include <span>
 #include <string>
-#include <vector>
 
-#include "core/evaluator.hpp"
-#include "engine/engine.hpp"
-#include "engine/result_sink.hpp"
-#include "engine/scenario.hpp"
-#include "heuristics/heuristic.hpp"
+#include "engine/experiment.hpp"
 #include "support/cli.hpp"
 #include "workflows/generator.hpp"
 
 namespace fpsched::bench {
 
-struct FigureOptions {
-  std::vector<std::size_t> sizes{50, 100, 200, 300, 400, 500, 600, 700};
-  std::size_t stride = 1;   // N-sweep stride (1 = exhaustive, as the paper)
-  std::uint64_t seed = 42;  // workflow generation seed
-  double weight_cv = 0.2;
-  std::string csv_dir;       // empty = no CSV output
-  std::size_t threads = 0;   // scenario-shard workers; 0 = all cores
-  /// Share materialized instances across the scenarios of a figure
-  /// (--no-instance-cache disables it; results are identical either way).
-  bool instance_cache = true;
-};
+using engine::FigureOptions;
+using engine::PanelSpec;
+
+/// Registers the sweep-figure extras (`--tasks`, `--downtimes`) that
+/// fig7/downtime consume and the other figures ignore; figure_main and
+/// fpsched_run call this before parse_figure_options so every
+/// registry-driven binary exposes the same CLI.
+void add_sweep_options(CliParser& cli);
 
 /// Registers the shared options on `cli`, parses, and converts. Returns
 /// nullopt when --help was requested. Rejects malformed values
-/// (e.g. --stride 0) with a clear error.
+/// (e.g. --stride 0) with a clear error; creates the --csv directory when
+/// it does not exist yet (rejecting paths that exist as non-directories).
+/// Reads `--tasks` / `--downtimes` only when the binary registered them
+/// (add_sweep_options, or its own option of the same name).
 std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc, const char* const* argv);
 
 /// Engine configured from the shared options.
 engine::ExperimentEngine make_engine(const FigureOptions& options);
 
-/// One declared figure panel: the scenario grid plus presentation.
-struct PanelSpec {
-  engine::ScenarioGrid grid;
-  std::string title;  // e.g. "CyberShake: lambda=0.001, c=0.1w  [paper fig. 2a]"
-  std::string slug;   // CSV file stem, e.g. "fig2a_cybershake"
-};
+/// Runs a registered experiment through the standard bench sinks: table
+/// and ASCII chart on `os`, plus CSV when options.csv_dir is set.
+void run_figure_experiment(std::ostream& os, const engine::Experiment& experiment,
+                           const FigureOptions& options);
 
-/// Runs every panel's scenarios through ONE sharded engine pass (so the
-/// whole figure, not just each panel, load-balances across workers) and
-/// emits the panels in order through the sinks.
-void run_figure(std::ostream& os, std::span<const PanelSpec> panels, const FigureOptions& options);
-
-/// Emits one assembled panel through the standard sinks (table, chart,
-/// CSV when configured).
-void emit_panel(std::ostream& os, const engine::Panel& panel, const FigureOptions& options,
-                const std::string& slug);
-
-/// Grid of Figures 2 and 4: the six BF/DF/RF x CkptW/CkptC fixed series
-/// over the size axis.
-engine::ScenarioGrid linearization_grid(WorkflowKind kind, double lambda,
-                                        const CostModel& cost_model, const FigureOptions& options);
-
-/// Grid of Figures 3, 5 and 6: every checkpoint strategy with its best
-/// linearization, over the size axis.
-engine::ScenarioGrid strategy_grid(WorkflowKind kind, double lambda, const CostModel& cost_model,
-                                   const FigureOptions& options);
-
-/// Grid of Figure 7: fixed size, best-linearization strategies over a
-/// lambda axis.
-engine::ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
-                                       const std::vector<double>& lambdas,
-                                       const CostModel& cost_model, const FigureOptions& options);
-
-/// Grid of the downtime-sweep study (beyond the paper): fixed size and
-/// failure rate, best-linearization strategies over a downtime axis.
-engine::ScenarioGrid downtime_sweep_grid(WorkflowKind kind, std::size_t size, double lambda,
-                                         const std::vector<double>& downtimes,
-                                         const CostModel& cost_model,
-                                         const FigureOptions& options);
-
-/// Panel titles matching the paper's figure captions.
-std::string panel_title(WorkflowKind kind, const std::string& subtitle);
-std::string best_lin_panel_title(WorkflowKind kind, const std::string& subtitle);
+/// The whole main() of a per-figure binary: look up `name` in the global
+/// registry, parse the shared CLI, run through the standard sinks.
+/// Returns the process exit code.
+int figure_main(const std::string& name, int argc, const char* const* argv);
 
 /// Generates the paper's workflow instance for a size (cost model
 /// applied). tests/engine_test.cpp replicates this convention (seed +

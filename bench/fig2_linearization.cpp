@@ -5,38 +5,9 @@
 // for the two leading checkpointing strategies CkptW and CkptC over
 // 50-700 tasks. Expected shape: DF lowest nearly everywhere; RF beats BF
 // on Ligo.
-#include <iostream>
-
+//
+// Thin shim over the experiment registry; `fpsched_run fig2` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Reproduces Figure 2: linearization strategies (CkptW/CkptC, c = 0.1 w).");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    std::cout << "Figure 2 — impact of the linearization strategy (c_i = r_i = 0.1 w_i)\n";
-
-    const CostModel cost = CostModel::proportional(0.1);
-    const std::vector<PanelSpec> panels{
-        {linearization_grid(WorkflowKind::cybershake, 1e-3, cost, *options),
-         panel_title(WorkflowKind::cybershake, "lambda=0.001, c=0.1w  [paper fig. 2a]"),
-         "fig2a_cybershake"},
-        {linearization_grid(WorkflowKind::ligo, 1e-3, cost, *options),
-         panel_title(WorkflowKind::ligo, "lambda=0.001, c=0.1w  [paper fig. 2b]"), "fig2b_ligo"},
-        {linearization_grid(WorkflowKind::genome, 1e-4, cost, *options),
-         panel_title(WorkflowKind::genome, "lambda=0.0001, c=0.1w  [paper fig. 2c]"),
-         "fig2c_genome"},
-    };
-    run_figure(std::cout, panels, *options);
-    std::cout << "\nPaper's observations to compare against: DF is (almost) always the best\n"
-                 "linearization; on Ligo, RF beats BF because RF often behaves like DF.\n";
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("fig2", argc, argv); }

@@ -6,43 +6,9 @@
 // its best linearization. Expected shape: CkptW / CkptC / CkptD at the
 // bottom, CkptPer poor (sometimes worse than the baselines), CkptNvr
 // clearly worst at these failure rates.
-#include <iostream>
-
+//
+// Thin shim over the experiment registry; `fpsched_run fig3` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
-#include "support/table.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Reproduces Figure 3: checkpointing strategies, c = 0.1 w.");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    std::cout << "Figure 3 — impact of the checkpointing strategy (c_i = r_i = 0.1 w_i)\n";
-
-    const CostModel cost = CostModel::proportional(0.1);
-    const char* labels[] = {"fig3a_montage", "fig3b_ligo", "fig3c_cybershake", "fig3d_genome"};
-    const WorkflowKind kinds[] = {WorkflowKind::montage, WorkflowKind::ligo,
-                                  WorkflowKind::cybershake, WorkflowKind::genome};
-    std::vector<PanelSpec> panels;
-    for (std::size_t i = 0; i < 4; ++i) {
-      const double lambda = paper_lambda(kinds[i]);
-      panels.push_back(
-          {strategy_grid(kinds[i], lambda, cost, *options),
-           best_lin_panel_title(kinds[i], "lambda=" + format_double(lambda, 4) +
-                                              ", c=0.1w  [paper fig. 3" +
-                                              std::string(1, static_cast<char>('a' + i)) + "]"),
-           labels[i]});
-    }
-    run_figure(std::cout, panels, *options);
-    std::cout << "\nPaper's observations to compare against: CkptW best on Montage, Ligo and\n"
-                 "Genome; CkptC best on CyberShake; CkptPer ignores the DAG structure and\n"
-                 "trails the structure-aware strategies; all strategies beat CkptNvr.\n";
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("fig3", argc, argv); }

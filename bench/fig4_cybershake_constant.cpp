@@ -6,37 +6,9 @@
 // lambda = 1e-3, with the six BF/DF/RF x CkptW/CkptC series. Expected
 // shape: with a constant checkpoint cost, CkptW catches up with CkptC
 // (the cost ranking no longer favours small tasks).
-#include <iostream>
-
+//
+// Thin shim over the experiment registry; `fpsched_run fig4` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Reproduces Figure 4: CyberShake with constant checkpoint costs.");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    std::cout << "Figure 4 — CyberShake, linearization impact under constant checkpoints\n";
-
-    const WorkflowKind kind = WorkflowKind::cybershake;
-    const std::vector<PanelSpec> panels{
-        {linearization_grid(kind, 1e-3, CostModel::constant(10.0), *options),
-         panel_title(kind, "lambda=0.001, c=10s  [paper fig. 4a]"), "fig4a_cybershake_c10"},
-        {linearization_grid(kind, 1e-3, CostModel::constant(5.0), *options),
-         panel_title(kind, "lambda=0.001, c=5s  [paper fig. 4b]"), "fig4b_cybershake_c5"},
-        {linearization_grid(kind, 1e-3, CostModel::proportional(0.01), *options),
-         panel_title(kind, "lambda=0.001, c=0.01w  [paper fig. 4c]"), "fig4c_cybershake_c001w"},
-    };
-    run_figure(std::cout, panels, *options);
-    std::cout << "\nPaper's observation to compare against: with a constant checkpoint cost,\n"
-                 "CkptW behaves as well as CkptC on CyberShake (cf. fig. 2a where the\n"
-                 "proportional cost separated them).\n";
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("fig4", argc, argv); }

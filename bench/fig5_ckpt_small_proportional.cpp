@@ -5,40 +5,9 @@
 // strategy). Expected shape: with cheaper checkpoints the ratios drop
 // across the board and CkptAlws closes most of the gap; CkptNvr remains
 // far off; the relative strategy ordering of Figure 3 persists.
-#include <iostream>
-
+//
+// Thin shim over the experiment registry; `fpsched_run fig5` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
-#include "support/table.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Reproduces Figure 5: checkpointing strategies, c = 0.01 w.");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    std::cout << "Figure 5 — impact of the checkpointing strategy (c_i = r_i = 0.01 w_i)\n";
-
-    const CostModel cost = CostModel::proportional(0.01);
-    const char* labels[] = {"fig5a_montage", "fig5b_ligo", "fig5c_cybershake", "fig5d_genome"};
-    const WorkflowKind kinds[] = {WorkflowKind::montage, WorkflowKind::ligo,
-                                  WorkflowKind::cybershake, WorkflowKind::genome};
-    std::vector<PanelSpec> panels;
-    for (std::size_t i = 0; i < 4; ++i) {
-      const double lambda = paper_lambda(kinds[i]);
-      panels.push_back(
-          {strategy_grid(kinds[i], lambda, cost, *options),
-           best_lin_panel_title(kinds[i], "lambda=" + format_double(lambda, 4) +
-                                              ", c=0.01w  [paper fig. 5" +
-                                              std::string(1, static_cast<char>('a' + i)) + "]"),
-           labels[i]});
-    }
-    run_figure(std::cout, panels, *options);
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("fig5", argc, argv); }

@@ -5,40 +5,9 @@
 // strategy). Expected shape: constant costs penalize checkpointing small
 // tasks, so CkptC loses its edge; CkptW/CkptD lead; CkptAlws suffers on
 // workflows with many small tasks (Montage, CyberShake).
-#include <iostream>
-
+//
+// Thin shim over the experiment registry; `fpsched_run fig6` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
-#include "support/table.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Reproduces Figure 6: checkpointing strategies, c = 5 s.");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    std::cout << "Figure 6 — impact of the checkpointing strategy (c_i = r_i = 5 s)\n";
-
-    const CostModel cost = CostModel::constant(5.0);
-    const char* labels[] = {"fig6a_montage", "fig6b_ligo", "fig6c_cybershake", "fig6d_genome"};
-    const WorkflowKind kinds[] = {WorkflowKind::montage, WorkflowKind::ligo,
-                                  WorkflowKind::cybershake, WorkflowKind::genome};
-    std::vector<PanelSpec> panels;
-    for (std::size_t i = 0; i < 4; ++i) {
-      const double lambda = paper_lambda(kinds[i]);
-      panels.push_back(
-          {strategy_grid(kinds[i], lambda, cost, *options),
-           best_lin_panel_title(kinds[i], "lambda=" + format_double(lambda, 4) +
-                                              ", c=5s  [paper fig. 6" +
-                                              std::string(1, static_cast<char>('a' + i)) + "]"),
-           labels[i]});
-    }
-    run_figure(std::cout, panels, *options);
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("fig6", argc, argv); }

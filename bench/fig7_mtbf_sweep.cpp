@@ -1,49 +1,14 @@
 // Figure 7 of the paper: sensitivity to the failure rate at a fixed
-// workflow size of 200 tasks, c_i = r_i = 0.1 w_i.
+// workflow size of 200 tasks (--tasks), c_i = r_i = 0.1 w_i.
 //
 // Panels (a) Montage, (b) Ligo, (c) CyberShake over lambda in
 // [1e-4, 9.3e-4], and (d) Genome over [1e-6, 2.7e-4] (its tasks are an
 // order of magnitude heavier). Expected shape: ratios grow steeply with
 // lambda; CkptNvr explodes (the paper's Genome panel reaches 20x);
 // the structure-aware strategies stay lowest across the whole range.
-#include <iostream>
-
+//
+// Thin shim over the experiment registry; `fpsched_run fig7` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Reproduces Figure 7: ratio vs failure rate at 200 tasks, c = 0.1 w.");
-  cli.add_option("tasks", "200", "workflow size (the paper uses 200)");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    const std::size_t size = cli.get_count("tasks", 1);
-    std::cout << "Figure 7 — checkpointing strategies vs failure rate (" << size
-              << " tasks, c_i = r_i = 0.1 w_i)\n";
-
-    const CostModel cost = CostModel::proportional(0.1);
-    // The paper's x grids.
-    const std::vector<double> common{1e-4, 2.5e-4, 3.8e-4, 5.2e-4, 6.6e-4, 8e-4, 9.3e-4};
-    const std::vector<double> genome{1e-6, 5e-5, 9e-5, 1.4e-4, 1.8e-4, 2.3e-4, 2.7e-4};
-
-    const std::string tasks = std::to_string(size) + " tasks, c=0.1w  [paper fig. 7";
-    const std::vector<PanelSpec> panels{
-        {lambda_sweep_grid(WorkflowKind::montage, size, common, cost, *options),
-         best_lin_panel_title(WorkflowKind::montage, tasks + "a]"), "fig7a_montage"},
-        {lambda_sweep_grid(WorkflowKind::ligo, size, common, cost, *options),
-         best_lin_panel_title(WorkflowKind::ligo, tasks + "b]"), "fig7b_ligo"},
-        {lambda_sweep_grid(WorkflowKind::cybershake, size, common, cost, *options),
-         best_lin_panel_title(WorkflowKind::cybershake, tasks + "c]"), "fig7c_cybershake"},
-        {lambda_sweep_grid(WorkflowKind::genome, size, genome, cost, *options),
-         best_lin_panel_title(WorkflowKind::genome, tasks + "d]"), "fig7d_genome"},
-    };
-    run_figure(std::cout, panels, *options);
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("fig7", argc, argv); }

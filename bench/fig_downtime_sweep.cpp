@@ -2,57 +2,16 @@
 //
 // The platform model of Section 3 charges a constant downtime D after
 // every failure, but the paper's experiments keep D = 0. This bench
-// sweeps D at a fixed workflow size and the paper's per-workflow failure
-// rates, c_i = r_i = 0.1 w_i, for every checkpointing strategy at its
-// best linearization — exercising the engine's downtime grid axis.
-// Expected shape: ratios grow linearly in D (Eq. (1) scales each
-// failure's cost by 1/lambda + D), with the steepest growth for the
-// strategies that fail most often per unit of work (CkptNvr).
-#include <iostream>
-
+// sweeps D (--downtimes) at a fixed workflow size (--tasks) and the
+// paper's per-workflow failure rates, c_i = r_i = 0.1 w_i, for every
+// checkpointing strategy at its best linearization — exercising the
+// engine's downtime grid axis. Expected shape: ratios grow linearly in D
+// (Eq. (1) scales each failure's cost by 1/lambda + D), with the
+// steepest growth for the strategies that fail most often per unit of
+// work (CkptNvr).
+//
+// Thin shim over the experiment registry; `fpsched_run downtime` is the
+// same run (same code path, byte-identical output).
 #include "bench_common.hpp"
-#include "support/error.hpp"
-#include "support/table.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Downtime sweep: ratio vs per-failure downtime D at a fixed size, c = 0.1 w.");
-  cli.add_option("tasks", "200", "workflow size");
-  cli.add_option("downtimes", "0,60,300,900,3600", "downtime grid (seconds)");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    const std::size_t size = cli.get_count("tasks", 1);
-    const std::vector<double> downtimes = cli.get_double_list("downtimes");
-    for (const double d : downtimes) {
-      if (d < 0.0) throw InvalidArgument("option --downtimes: downtimes must be >= 0");
-    }
-    std::cout << "Downtime sweep — checkpointing strategies vs downtime D (" << size
-              << " tasks, paper lambdas, c_i = r_i = 0.1 w_i)\n";
-
-    const CostModel cost = CostModel::proportional(0.1);
-    const auto panel = [&](WorkflowKind kind, const std::string& slug) {
-      const double lambda = paper_lambda(kind);
-      return PanelSpec{
-          downtime_sweep_grid(kind, size, lambda, downtimes, cost, *options),
-          best_lin_panel_title(kind, std::to_string(size) + " tasks, lambda=" +
-                                         format_double(lambda, 4) + ", c=0.1w"),
-          slug};
-    };
-    const std::vector<PanelSpec> panels{
-        panel(WorkflowKind::montage, "downtime_montage"),
-        panel(WorkflowKind::cybershake, "downtime_cybershake"),
-        panel(WorkflowKind::genome, "downtime_genome"),
-    };
-    run_figure(std::cout, panels, *options);
-    std::cout << "\nEq. (1) charges every failure 1/lambda + D, so E[makespan] is affine in D\n"
-                 "with slope lambda * E[#failures]; strategies that recover less work per\n"
-                 "failure flatten the curve.\n";
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("downtime", argc, argv); }

@@ -1,0 +1,138 @@
+#include "engine/experiment.hpp"
+
+#include <ostream>
+
+#include "engine/engine.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::engine {
+
+void ExperimentRegistry::add(Experiment experiment) {
+  ensure(!experiment.name.empty(), "an experiment needs a name");
+  ensure(static_cast<bool>(experiment.build),
+         "experiment '" + experiment.name + "' needs a builder");
+  if (contains(experiment.name)) {
+    throw InvalidArgument("experiment '" + experiment.name + "' is already registered");
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+bool ExperimentRegistry::contains(const std::string& name) const {
+  for (const Experiment& experiment : experiments_) {
+    if (experiment.name == name) return true;
+  }
+  return false;
+}
+
+const Experiment& ExperimentRegistry::find(const std::string& name) const {
+  for (const Experiment& experiment : experiments_) {
+    if (experiment.name == name) return experiment;
+  }
+  std::string known;
+  for (const Experiment& experiment : experiments_) {
+    if (!known.empty()) known += ", ";
+    known += experiment.name;
+  }
+  throw InvalidArgument("unknown experiment '" + name + "' (registered: " +
+                        (known.empty() ? "none" : known) + ")");
+}
+
+std::vector<const Experiment*> ExperimentRegistry::experiments() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const Experiment& experiment : experiments_) out.push_back(&experiment);
+  return out;
+}
+
+ExperimentRegistry& ExperimentRegistry::global() {
+  static ExperimentRegistry* registry = [] {
+    auto* r = new ExperimentRegistry();
+    register_paper_figures(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const auto fail = [&] {
+    throw InvalidArgument("shard must be I/N with 1 <= I <= N (e.g. \"2/4\"), got '" + text +
+                          "'");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) fail();
+  const auto parse_count = [&](const std::string& part) -> std::size_t {
+    if (part.empty() || part.find_first_not_of("0123456789") != std::string::npos) fail();
+    try {
+      return static_cast<std::size_t>(std::stoull(part));
+    } catch (const std::exception&) {
+      fail();
+    }
+    return 0;  // unreachable
+  };
+  ShardSpec shard;
+  shard.index = parse_count(text.substr(0, slash));
+  shard.count = parse_count(text.substr(slash + 1));
+  if (shard.count < 1 || shard.index < 1 || shard.index > shard.count) fail();
+  return shard;
+}
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total, const ShardSpec& shard) {
+  ensure(shard.count >= 1 && shard.index >= 1 && shard.index <= shard.count,
+         "shard index out of range");
+  // Contiguous balanced blocks: shard i of N covers
+  // [total*(i-1)/N, total*i/N). Adjacent shards tile [0, total) exactly,
+  // which is what makes concatenated shard outputs equal the unsharded
+  // run byte for byte.
+  return {total * (shard.index - 1) / shard.count, total * shard.index / shard.count};
+}
+
+void run_experiment(const Experiment& experiment, const FigureOptions& options,
+                    std::span<ResultSink* const> sinks, std::ostream* text,
+                    const ShardSpec& shard) {
+  const FigurePlan plan = experiment.build(options);
+
+  // Flatten every panel's grid into one list so the whole figure shards
+  // across the engine's workers as a single batch.
+  std::vector<ScenarioSpec> specs;
+  std::vector<std::size_t> offsets;  // first flattened index of each panel
+  for (const PanelSpec& panel : plan.panels) {
+    offsets.push_back(specs.size());
+    const std::vector<ScenarioSpec> grid_specs = panel.grid.enumerate();
+    specs.insert(specs.end(), grid_specs.begin(), grid_specs.end());
+  }
+
+  // Heading first: a full-grid run can take hours, and the old binaries
+  // announced themselves before computing.
+  if (text && !plan.heading.empty()) *text << plan.heading << "\n";
+
+  const auto [begin, end] = shard_range(specs.size(), shard);
+  const ExperimentEngine engine(
+      {.threads = options.threads, .instance_cache = options.instance_cache});
+  const std::vector<ScenarioResult> results =
+      engine.run(std::span<const ScenarioSpec>(specs).subspan(begin, end - begin));
+
+  // Level 1: every scenario result as a record, in flattened order.
+  std::size_t panel_index = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    while (panel_index + 1 < offsets.size() && i >= offsets[panel_index + 1]) ++panel_index;
+    const ResultRecord record{experiment.name, plan.panels[panel_index].slug, results[i - begin]};
+    for (ResultSink* sink : sinks) sink->record(record);
+  }
+
+  // Level 2: assembled panels — only when this process ran the whole
+  // grid (a shard's slice does not cover whole panels).
+  if (!shard.active()) {
+    for (std::size_t p = 0; p < plan.panels.size(); ++p) {
+      const PanelSpec& panel = plan.panels[p];
+      const std::span<const ScenarioResult> slice(results.data() + offsets[p],
+                                                  panel.grid.scenario_count());
+      const Panel assembled = assemble_panel(panel.grid, slice, panel.title);
+      for (ResultSink* sink : sinks) sink->emit(assembled, panel.slug);
+    }
+  }
+
+  if (text && !plan.notes.empty()) *text << plan.notes;
+  for (ResultSink* sink : sinks) sink->finish();
+}
+
+}  // namespace fpsched::engine

@@ -1,0 +1,168 @@
+// First-class experiments: the declarative registry behind fpsched_run
+// and the per-figure binaries.
+//
+// The paper's evaluation is one big scenario grid, but the repo used to
+// expose it as ten near-identical figure binaries hand-wiring PanelSpecs.
+// This header turns each figure/study into data: an Experiment owns a
+// name, a one-line summary, and a builder that maps shared FigureOptions
+// to a FigurePlan (heading + panels + closing notes). The
+// ExperimentRegistry resolves names ("fig2", "downtime") to experiments;
+// run_experiment() executes a plan through the engine and streams it
+// through any stack of ResultSinks — including, via ShardSpec, a
+// deterministic 1/N slice of the flattened scenario list so N processes'
+// record streams concatenate to the bit-identical unsharded output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/result_sink.hpp"
+#include "engine/scenario.hpp"
+
+namespace fpsched::engine {
+
+/// The shared experiment knobs every figure builder consumes (the CLI of
+/// the bench binaries maps onto this 1:1).
+struct FigureOptions {
+  std::vector<std::size_t> sizes{50, 100, 200, 300, 400, 500, 600, 700};
+  std::size_t stride = 1;   // N-sweep stride (1 = exhaustive, as the paper)
+  std::uint64_t seed = 42;  // workflow generation seed
+  double weight_cv = 0.2;
+  std::string csv_dir;       // empty = no CSV output
+  std::size_t threads = 0;   // scenario-shard workers; 0 = all cores
+  /// Share materialized instances across the scenarios of a figure
+  /// (--no-instance-cache disables it; results are identical either way).
+  bool instance_cache = true;
+  /// Fixed workflow size for the sweep figures (fig7's lambda sweep, the
+  /// downtime sweep); the size-axis figures ignore it.
+  std::size_t tasks = 200;
+  /// Downtime grid of the downtime-sweep experiment (seconds).
+  std::vector<double> downtimes{0, 60, 300, 900, 3600};
+};
+
+/// One declared figure panel: the scenario grid plus presentation.
+struct PanelSpec {
+  ScenarioGrid grid;
+  std::string title;  // e.g. "CyberShake: lambda=0.001, c=0.1w  [paper fig. 2a]"
+  std::string slug;   // stable file stem, e.g. "fig2a_cybershake"
+};
+
+/// A built experiment, ready to run: the text frame plus the panels.
+struct FigurePlan {
+  /// First stdout line of the run ("Figure 2 — impact of ...").
+  std::string heading;
+  std::vector<PanelSpec> panels;
+  /// Printed verbatim after the panels (own its newlines; may be empty).
+  std::string notes;
+};
+
+/// A registered experiment: everything fpsched_run needs to list and run
+/// a figure or study by name.
+struct Experiment {
+  std::string name;     // registry key, e.g. "fig2"
+  std::string summary;  // one-liner for --list and the shims' --help
+  std::function<FigurePlan(const FigureOptions&)> build;
+  /// Whether the builder consumes FigureOptions::tasks/downtimes. The
+  /// per-figure shims register `--tasks`/`--downtimes` only when true, so
+  /// a size-axis binary keeps rejecting them instead of silently
+  /// ignoring a flag the user thinks took effect (fpsched_run registers
+  /// them always — it can run any mix of experiments).
+  bool sweep_options = false;
+};
+
+/// Name -> Experiment map with registration-order listing. Lookup of an
+/// unknown name throws an InvalidArgument that lists every known name, so
+/// a typo in `fpsched_run fig9` is self-correcting.
+class ExperimentRegistry {
+ public:
+  /// Registers an experiment; throws InvalidArgument on a duplicate name
+  /// or a missing name/builder.
+  void add(Experiment experiment);
+
+  bool contains(const std::string& name) const;
+
+  /// Throws InvalidArgument listing the registered names when `name` is
+  /// unknown.
+  const Experiment& find(const std::string& name) const;
+
+  /// Experiments in registration order.
+  std::vector<const Experiment*> experiments() const;
+
+  /// The process-wide registry, populated with the paper figures
+  /// (register_paper_figures) on first use.
+  static ExperimentRegistry& global();
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// Registers the paper's figure reproductions and the engine's sweep
+/// studies: fig2-fig7 plus "downtime".
+void register_paper_figures(ExperimentRegistry& registry);
+
+/// One process's slice of a run: shard `index` of `count` (1-based).
+/// {1, 1} is the whole run. Sharding partitions the flattened scenario
+/// list into contiguous blocks, so the record streams of shards 1..N
+/// concatenate to the bit-identical unsharded stream.
+struct ShardSpec {
+  std::size_t index = 1;
+  std::size_t count = 1;
+
+  bool active() const { return count > 1; }
+
+  /// Parses "I/N" (e.g. "2/4"); throws InvalidArgument when malformed or
+  /// out of range.
+  static ShardSpec parse(const std::string& text);
+};
+
+/// [begin, end) of shard `shard` over a `total`-element list: contiguous,
+/// exhaustive, and balanced to within one element.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total, const ShardSpec& shard);
+
+// --- Figure grid builders (shared by the registered figures) -----------
+
+/// Grid of Figures 2 and 4: the six BF/DF/RF x CkptW/CkptC fixed series
+/// over the size axis.
+ScenarioGrid linearization_grid(WorkflowKind kind, double lambda, const CostModel& cost_model,
+                                const FigureOptions& options);
+
+/// Grid of Figures 3, 5 and 6: every checkpoint strategy with its best
+/// linearization, over the size axis.
+ScenarioGrid strategy_grid(WorkflowKind kind, double lambda, const CostModel& cost_model,
+                           const FigureOptions& options);
+
+/// Grid of Figure 7: fixed size, best-linearization strategies over a
+/// lambda axis.
+ScenarioGrid lambda_sweep_grid(WorkflowKind kind, std::size_t size,
+                               const std::vector<double>& lambdas, const CostModel& cost_model,
+                               const FigureOptions& options);
+
+/// Grid of the downtime-sweep study (beyond the paper): fixed size and
+/// failure rate, best-linearization strategies over a downtime axis.
+ScenarioGrid downtime_sweep_grid(WorkflowKind kind, std::size_t size, double lambda,
+                                 const std::vector<double>& downtimes,
+                                 const CostModel& cost_model, const FigureOptions& options);
+
+/// Panel titles matching the paper's figure captions.
+std::string panel_title(WorkflowKind kind, const std::string& subtitle);
+std::string best_lin_panel_title(WorkflowKind kind, const std::string& subtitle);
+
+/// Builds the experiment's plan, runs every panel's scenarios through ONE
+/// sharded engine pass (so the whole figure, not just each panel,
+/// load-balances across workers), and streams the output through `sinks`:
+/// every scenario result as a ResultRecord first, then — for unsharded
+/// runs — the assembled panels in order. `text` (when non-null) receives
+/// the plan's heading before and notes after the panels. With an active
+/// shard only that contiguous slice of the flattened scenario list runs;
+/// panel assembly is skipped, records still stream in slice order.
+/// Calls finish() on every sink.
+void run_experiment(const Experiment& experiment, const FigureOptions& options,
+                    std::span<ResultSink* const> sinks, std::ostream* text,
+                    const ShardSpec& shard = {});
+
+}  // namespace fpsched::engine

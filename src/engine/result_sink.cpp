@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "support/ascii_plot.hpp"
 #include "support/error.hpp"
 
 namespace fpsched::engine {
 
-Table panel_table(const Panel& panel) {
+Table panel_table(const Panel& panel, bool machine_precision) {
   std::vector<std::string> headers{panel.x_label};
   for (const PanelSeries& series : panel.series) headers.push_back(series.name);
   Table table(headers);
@@ -20,26 +23,47 @@ Table panel_table(const Panel& panel) {
     if (panel.axis == GridAxis::task_count) return std::to_string(static_cast<long long>(x));
     return format_double(x, panel.axis == GridAxis::lambda ? 6 : 3);
   };
+  const auto format_ratio = [&](double r) {
+    return machine_precision ? format_double_full(r) : format_double(r, 4);
+  };
   for (std::size_t i = 0; i < panel.xs.size(); ++i) {
     std::vector<std::string> row;
     row.push_back(format_x(panel.xs[i]));
-    for (const PanelSeries& series : panel.series) row.push_back(format_double(series.values[i], 4));
+    for (const PanelSeries& series : panel.series) row.push_back(format_ratio(series.values[i]));
     table.add_row(std::move(row));
   }
   return table;
 }
 
+namespace {
+
+std::string workflow_list(const std::vector<WorkflowKind>& kinds) {
+  std::string out;
+  for (const WorkflowKind kind : kinds) {
+    if (!out.empty()) out += ", ";
+    out += to_string(kind);
+  }
+  return out;
+}
+
+}  // namespace
+
 Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> results,
                      std::string title) {
   grid.validate();
-  ensure(grid.workflows.size() == 1, "assemble_panel needs a single-workflow grid");
+  ensure(grid.workflows.size() == 1, "assemble_panel needs a single-workflow grid (got " +
+                                         workflow_list(grid.workflows) + ")");
+  const std::string kind_name = to_string(grid.workflows.front());
   ensure(results.size() == grid.scenario_count(),
-         "assemble_panel: results do not match the grid");
+         "assemble_panel(" + kind_name + "): " + std::to_string(results.size()) +
+             " results do not match the grid (" + std::to_string(grid.scenario_count()) +
+             " scenarios)");
   // One value per non-axis dimension, so the flattened result order is
   // x-value major, policy minor regardless of which dimension is the axis.
   const auto single = [&](GridAxis axis, std::size_t count) {
-    ensure(axis == grid.axis || count <= 1,
-           "a " + to_string(grid.axis) + " panel needs a single " + to_string(axis) + " value");
+    ensure(axis == grid.axis || count <= 1, "a " + to_string(grid.axis) + " panel of " +
+                                                kind_name + " needs a single " + to_string(axis) +
+                                                " value");
   };
   single(GridAxis::task_count, grid.sizes.size());
   single(GridAxis::lambda, grid.lambdas.size());
@@ -79,6 +103,90 @@ Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> r
   return panel;
 }
 
+void ensure_output_directory(const std::string& directory) {
+  const std::filesystem::path path(directory);
+  if (std::filesystem::exists(path)) {
+    if (!std::filesystem::is_directory(path)) {
+      throw InvalidArgument("'" + directory + "' exists and is not a directory");
+    }
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) throw InvalidArgument("cannot create directory '" + directory + "': " + ec.message());
+}
+
+// --- JSON records ------------------------------------------------------
+
+namespace {
+
+/// JSON string escaping for the few label characters that need it.
+std::string json_string(std::string_view value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Round-trip JSON number; inf/nan (legal ratios — a schedule may never
+/// finish) have no JSON literal and become strings.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return json_string(format_double_full(value));
+  return format_double_full(value);
+}
+
+std::string_view cost_model_kind(const CostModel& model) {
+  switch (model.kind) {
+    case CostModel::Kind::proportional: return "proportional";
+    case CostModel::Kind::constant: return "constant";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_json(const ResultRecord& record) {
+  const ScenarioSpec& spec = record.result.spec;
+  std::ostringstream os;
+  os << '{' << "\"experiment\":" << json_string(record.experiment)
+     << ",\"panel\":" << json_string(record.panel)
+     << ",\"workflow\":" << json_string(to_string(spec.workflow))
+     << ",\"tasks\":" << spec.task_count << ",\"lambda\":" << json_number(spec.model.lambda())
+     << ",\"downtime\":" << json_number(spec.model.downtime())
+     << ",\"cost_model\":" << json_string(cost_model_kind(spec.cost_model))
+     << ",\"cost_parameter\":" << json_number(spec.cost_model.parameter)
+     << ",\"policy_kind\":"
+     << json_string(spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic
+                        ? "fixed"
+                        : "best_linearization")
+     << ",\"policy\":" << json_string(spec.policy.name())
+     << ",\"workflow_seed\":" << spec.workflow_seed
+     << ",\"weight_cv\":" << json_number(spec.weight_cv) << ",\"stride\":" << spec.stride
+     << ",\"scenario_index\":" << spec.scenario_index
+     << ",\"linearization\":" << json_string(to_string(record.result.linearization))
+     << ",\"best_budget\":" << record.result.best_budget
+     << ",\"expected_makespan\":" << json_number(record.result.evaluation.expected_makespan)
+     << ",\"ratio\":" << json_number(record.result.evaluation.ratio) << '}';
+  return os.str();
+}
+
+// --- Sinks -------------------------------------------------------------
+
 TableSink::TableSink(std::ostream& os, bool with_heading) : os_(os), with_heading_(with_heading) {}
 
 void TableSink::emit(const Panel& panel, const std::string&) {
@@ -115,14 +223,33 @@ void AsciiChartSink::emit(const Panel& panel, const std::string&) {
 }
 
 CsvSink::CsvSink(std::string directory, std::ostream* log)
-    : directory_(std::move(directory)), log_(log) {}
+    : directory_(std::move(directory)), log_(log) {
+  ensure_output_directory(directory_);
+}
 
 void CsvSink::emit(const Panel& panel, const std::string& slug) {
   const std::string path = directory_ + "/" + slug + ".csv";
   std::ofstream csv(path);
   if (!csv.good()) throw InvalidArgument("cannot open " + path + " for writing");
-  panel_table(panel).to_csv(csv);
+  panel_table(panel, /*machine_precision=*/true).to_csv(csv);
   if (log_) *log_ << "  [csv written to " << path << "]\n";
+}
+
+NdjsonSink::NdjsonSink(std::ostream& os) : os_(os) {}
+
+void NdjsonSink::record(const ResultRecord& record) { os_ << to_json(record) << '\n'; }
+
+JsonSink::JsonSink(std::ostream& os) : os_(os) {}
+
+void JsonSink::record(const ResultRecord& record) { objects_.push_back(to_json(record)); }
+
+void JsonSink::finish() {
+  os_ << "[\n";
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    os_ << "  " << objects_[i] << (i + 1 < objects_.size() ? ",\n" : "\n");
+  }
+  os_ << "]\n";
+  objects_.clear();
 }
 
 }  // namespace fpsched::engine

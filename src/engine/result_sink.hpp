@@ -1,17 +1,29 @@
-// Pluggable result sinks for engine output.
+// Pluggable result sinks for engine output — a two-level API.
 //
-// A Panel is the paper's figure unit: an x grid (task counts, failure
-// rates, downtimes or checkpoint-cost parameters, per the grid's axis)
-// with one T/T_inf series per policy. Sinks render panels — a
-// fixed-width table, an ASCII chart, a CSV file — and can be composed
-// freely; the bench harness stacks all three, a future HTTP frontend could
-// stream JSON. assemble_panel() maps a grid's flattened ScenarioResults
-// back onto panel coordinates.
+// Level 1: every scenario result streams through the sink as a
+// ResultRecord (the full ScenarioSpec provenance plus the outcome), in
+// flattened scenario order. Machine-readable sinks (NDJSON, JSON) consume
+// records; because each record is a pure function of its spec, the
+// record streams of a sharded run concatenate to the bit-identical
+// unsharded stream.
+//
+// Level 2: a Panel is the paper's figure unit — an x grid (task counts,
+// failure rates, downtimes or checkpoint-cost parameters, per the grid's
+// axis) with one T/T_inf series per policy. Presentation sinks render
+// panels — a fixed-width table, an ASCII chart, a CSV file.
+// assemble_panel() maps a grid's flattened ScenarioResults back onto
+// panel coordinates; sharded runs skip this level (their slice does not
+// cover whole panels).
+//
+// Sinks compose freely: the bench harness stacks table + chart + CSV, the
+// fpsched_run driver adds NDJSON/JSON, a future HTTP frontend could
+// stream records as they arrive.
 #pragma once
 
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -35,10 +47,28 @@ struct Panel {
   std::vector<PanelSeries> series;
 };
 
+/// One scenario outcome with its full provenance: which experiment and
+/// panel produced it, and the complete ScenarioSpec (inside `result.spec`)
+/// that reproduces it. Views borrow from the caller for the duration of
+/// the record() call; sinks that buffer must copy what they keep.
+struct ResultRecord {
+  std::string_view experiment;  // registry name; empty for ad-hoc runs
+  std::string_view panel;       // panel slug ("fig2a_cybershake")
+  const ScenarioResult& result;
+};
+
+/// The record as one JSON object (a single NDJSON line, no trailing
+/// newline). Doubles serialize at round-trip precision
+/// (max_digits10); non-finite values become the JSON strings "inf" /
+/// "-inf" / "nan" since JSON has no literal for them.
+std::string to_json(const ResultRecord& record);
+
 /// The panel as a printable/CSV-able table (x column plus one column per
 /// series; lambda grids format x with 6 decimals, size grids as integers,
-/// downtime/checkpoint-cost grids with 3 decimals).
-Table panel_table(const Panel& panel);
+/// downtime/checkpoint-cost grids with 3 decimals). Human tables round
+/// ratios to 4 decimals; machine_precision serializes them at
+/// round-trip precision (max_digits10) for CSV export.
+Table panel_table(const Panel& panel, bool machine_precision = false);
 
 /// Builds the panel of a single-workflow grid from the results of
 /// `ExperimentEngine::run(grid)` (same order). The grid must have exactly
@@ -46,12 +76,27 @@ Table panel_table(const Panel& panel);
 Panel assemble_panel(const ScenarioGrid& grid, std::span<const ScenarioResult> results,
                      std::string title);
 
-/// Consumes rendered panels. `slug` is a stable per-panel file stem
-/// ("fig2a_cybershake"); stream sinks ignore it.
+/// Creates `directory` (and parents) when missing; throws InvalidArgument
+/// when the path exists as a non-directory.
+void ensure_output_directory(const std::string& directory);
+
+/// Consumes experiment output. Both levels default to no-ops so a sink
+/// implements only the granularity it cares about; `slug` is a stable
+/// per-panel file stem ("fig2a_cybershake"), which stream sinks ignore.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
-  virtual void emit(const Panel& panel, const std::string& slug) = 0;
+  /// Level 1: one scenario result, in flattened scenario order, before
+  /// any panel of the run is emitted.
+  virtual void record(const ResultRecord& record) { (void)record; }
+  /// Level 2: an assembled panel (skipped in sharded runs).
+  virtual void emit(const Panel& panel, const std::string& slug) {
+    (void)panel;
+    (void)slug;
+  }
+  /// Called once after the run's last record/panel (flush buffers, close
+  /// JSON arrays).
+  virtual void finish() {}
 };
 
 /// "\n=== title ===\n" heading plus the column-aligned ratio table.
@@ -77,8 +122,10 @@ class AsciiChartSink : public ResultSink {
   std::ostream& os_;
 };
 
-/// Writes `<directory>/<slug>.csv`; logs "[csv written to ...]" to `log`
-/// when provided. Throws InvalidArgument when the file cannot be opened.
+/// Writes `<directory>/<slug>.csv` with ratios at round-trip precision;
+/// logs "[csv written to ...]" to `log` when provided. Creates the
+/// directory on demand; throws InvalidArgument when the path exists as a
+/// non-directory or the file cannot be opened.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::string directory, std::ostream* log = nullptr);
@@ -87,6 +134,28 @@ class CsvSink : public ResultSink {
  private:
   std::string directory_;
   std::ostream* log_;
+};
+
+/// Streams each record as one JSON object per line (NDJSON).
+class NdjsonSink : public ResultSink {
+ public:
+  explicit NdjsonSink(std::ostream& os);
+  void record(const ResultRecord& record) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Buffers records and writes them as one JSON array on finish().
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& os);
+  void record(const ResultRecord& record) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> objects_;
 };
 
 }  // namespace fpsched::engine

@@ -54,6 +54,14 @@ void CliParser::add_flag(const std::string& name, const std::string& help) {
   options_[name] = Option{"false", help, /*is_flag=*/true};
 }
 
+void CliParser::allow_positionals(const std::string& placeholder, const std::string& help) {
+  positionals_allowed_ = true;
+  positional_placeholder_ = placeholder;
+  positional_help_ = help;
+}
+
+bool CliParser::has_option(const std::string& name) const { return options_.contains(name); }
+
 const CliParser::Option& CliParser::find(const std::string& name) const {
   const auto it = options_.find(name);
   if (it == options_.end()) throw InvalidArgument("unknown option --" + name + "\n" + help_text());
@@ -68,7 +76,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
-      throw InvalidArgument("positional arguments are not supported: " + arg + "\n" + help_text());
+      if (!positionals_allowed_) {
+        throw InvalidArgument("positional arguments are not supported: " + arg + "\n" +
+                              help_text());
+      }
+      positionals_.push_back(std::move(arg));
+      continue;
     }
     arg = arg.substr(2);
     std::string value;
@@ -158,9 +171,18 @@ std::vector<double> CliParser::get_double_list(const std::string& name) const {
   return out;
 }
 
+std::vector<std::string> CliParser::get_string_list(const std::string& name) const {
+  return split_commas(get_string(name), "option --" + name);
+}
+
 std::string CliParser::help_text() const {
   std::ostringstream os;
-  os << summary_ << "\n\noptions:\n";
+  os << summary_ << "\n";
+  if (positionals_allowed_) {
+    os << "\narguments:\n  <" << positional_placeholder_ << ">...\n      " << positional_help_
+       << "\n";
+  }
+  os << "\noptions:\n";
   for (const auto& [name, opt] : options_) {
     os << "  --" << name;
     if (!opt.is_flag) os << " <value>";

@@ -26,6 +26,15 @@ class CliParser {
   /// Registers a boolean flag (defaults to false).
   void add_flag(const std::string& name, const std::string& help);
 
+  /// Accepts positional (non `--`) arguments, collected in order and
+  /// returned by positionals(). Without this call parse() rejects them —
+  /// a stray positional is almost always a mistyped option value.
+  void allow_positionals(const std::string& placeholder, const std::string& help);
+
+  /// Whether an option or flag with this name has been registered; lets
+  /// shared option blocks read extras only where a binary declared them.
+  bool has_option(const std::string& name) const;
+
   /// Parses argv. Returns false when --help was requested (help text is
   /// written to stdout); throws InvalidArgument on unknown or malformed
   /// arguments.
@@ -46,6 +55,13 @@ class CliParser {
   std::vector<std::int64_t> get_int_list(const std::string& name) const;
   /// Comma-separated list of doubles.
   std::vector<double> get_double_list(const std::string& name) const;
+  /// Comma-separated list of strings (e.g. "table,chart"); rejects empty
+  /// elements and empty lists like the numeric getters.
+  std::vector<std::string> get_string_list(const std::string& name) const;
+
+  /// Positional arguments in command-line order (requires
+  /// allow_positionals before parse).
+  const std::vector<std::string>& positionals() const { return positionals_; }
 
   std::string help_text() const;
 
@@ -61,6 +77,10 @@ class CliParser {
   std::string summary_;
   std::map<std::string, Option> options_;
   std::map<std::string, std::string> values_;
+  bool positionals_allowed_ = false;
+  std::string positional_placeholder_;
+  std::string positional_help_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace fpsched

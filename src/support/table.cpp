@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -17,6 +18,14 @@ std::string format_double(double value, int digits) {
   if (std::isnan(value)) return "nan";
   std::ostringstream os;
   os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_double_full(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
   return os.str();
 }
 

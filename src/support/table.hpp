@@ -10,6 +10,12 @@ namespace fpsched {
 /// Formats `value` with `digits` significant decimal places (fixed).
 std::string format_double(double value, int digits = 3);
 
+/// Round-trip formatting (max_digits10 significant digits): strtod of the
+/// result recovers the exact bit pattern. Non-finite values normalize to
+/// "inf" / "-inf" / "nan". For machine-readable sinks (CSV/NDJSON); human
+/// tables keep format_double's fixed decimals.
+std::string format_double_full(double value);
+
 /// A small column-aligned table. Cells are strings; numeric helpers are
 /// provided for the common case. Rendering pads every column to its widest
 /// cell; `to_csv` emits RFC-4180-style rows (quoting cells that need it).

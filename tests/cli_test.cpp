@@ -136,5 +136,41 @@ TEST(Cli, EmptyListSegmentsAreRejected) {
   expect_list_throws("");          // empty list
 }
 
+TEST(Cli, PositionalsRejectedUnlessAllowed) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "fig2"};
+  EXPECT_THROW(parser.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, PositionalsCollectInOrderAndMixWithOptions) {
+  CliParser parser = make_parser();
+  parser.allow_positionals("experiment", "experiment names");
+  const char* argv[] = {"prog", "fig2", "--tasks", "7", "fig7", "--full"};
+  ASSERT_TRUE(parser.parse(6, argv));
+  EXPECT_EQ(parser.positionals(), (std::vector<std::string>{"fig2", "fig7"}));
+  EXPECT_EQ(parser.get_int("tasks"), 7);
+  EXPECT_TRUE(parser.get_flag("full"));
+  EXPECT_NE(parser.help_text().find("<experiment>"), std::string::npos);
+}
+
+TEST(Cli, StringListSplitsAndRejectsEmptySegments) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--sizes", "table,chart"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_string_list("sizes"), (std::vector<std::string>{"table", "chart"}));
+
+  CliParser bad = make_parser();
+  const char* bad_argv[] = {"prog", "--sizes", "table,,chart"};
+  ASSERT_TRUE(bad.parse(3, bad_argv));
+  EXPECT_THROW(bad.get_string_list("sizes"), InvalidArgument);
+}
+
+TEST(Cli, HasOptionReflectsRegistration) {
+  const CliParser parser = make_parser();
+  EXPECT_TRUE(parser.has_option("tasks"));
+  EXPECT_TRUE(parser.has_option("full"));
+  EXPECT_FALSE(parser.has_option("downtimes"));
+}
+
 }  // namespace
 }  // namespace fpsched

@@ -1,0 +1,238 @@
+// Experiment-API suite: registry lookup and error reporting, the paper
+// figure registrations, deterministic shard partitioning, and the
+// headline guarantee of the record-level sinks — sharded NDJSON streams
+// concatenate to the bit-identical unsharded output.
+#include "engine/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "engine/result_sink.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::engine {
+namespace {
+
+// --- Registry ----------------------------------------------------------
+
+TEST(ExperimentRegistryTest, GlobalRegistryKnowsThePaperFigures) {
+  ExperimentRegistry& registry = ExperimentRegistry::global();
+  for (const std::string name : {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "downtime"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.find(name).name, name);
+  }
+  EXPECT_GE(registry.experiments().size(), 7u);
+  // Only the sweep figures consume --tasks/--downtimes; the shims use
+  // this to keep strict CLIs on the size-axis binaries.
+  EXPECT_TRUE(registry.find("fig7").sweep_options);
+  EXPECT_TRUE(registry.find("downtime").sweep_options);
+  EXPECT_FALSE(registry.find("fig2").sweep_options);
+}
+
+TEST(ExperimentRegistryTest, UnknownNameErrorListsRegisteredNames) {
+  try {
+    ExperimentRegistry::global().find("fig9");
+    FAIL() << "expected an unknown-experiment rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown experiment 'fig9'"), std::string::npos) << what;
+    EXPECT_NE(what.find("fig2"), std::string::npos) << what;
+    EXPECT_NE(what.find("downtime"), std::string::npos) << what;
+  }
+}
+
+TEST(ExperimentRegistryTest, RejectsDuplicatesAndMalformedExperiments) {
+  ExperimentRegistry registry;
+  const auto build = [](const FigureOptions&) { return FigurePlan{}; };
+  registry.add({"exp", "summary", build});
+  EXPECT_THROW(registry.add({"exp", "again", build}), Error);
+  EXPECT_THROW(registry.add({"", "nameless", build}), Error);
+  EXPECT_THROW(registry.add({"builderless", "summary", nullptr}), Error);
+  EXPECT_FALSE(registry.contains("builderless"));
+}
+
+TEST(ExperimentRegistryTest, ListsInRegistrationOrder) {
+  ExperimentRegistry registry;
+  const auto build = [](const FigureOptions&) { return FigurePlan{}; };
+  registry.add({"zz", "", build});
+  registry.add({"aa", "", build});
+  const auto experiments = registry.experiments();
+  ASSERT_EQ(experiments.size(), 2u);
+  EXPECT_EQ(experiments[0]->name, "zz");
+  EXPECT_EQ(experiments[1]->name, "aa");
+}
+
+// --- Figure builders ---------------------------------------------------
+
+TEST(ExperimentFiguresTest, Fig2BuildsThreePanelsOverTheSizeAxis) {
+  FigureOptions options;
+  options.sizes = {50, 100};
+  const FigurePlan plan = ExperimentRegistry::global().find("fig2").build(options);
+  EXPECT_NE(plan.heading.find("Figure 2"), std::string::npos);
+  ASSERT_EQ(plan.panels.size(), 3u);
+  EXPECT_EQ(plan.panels[0].slug, "fig2a_cybershake");
+  EXPECT_EQ(plan.panels[1].slug, "fig2b_ligo");
+  EXPECT_EQ(plan.panels[2].slug, "fig2c_genome");
+  for (const PanelSpec& panel : plan.panels) {
+    EXPECT_EQ(panel.grid.axis, GridAxis::task_count);
+    EXPECT_EQ(panel.grid.sizes, options.sizes);
+    EXPECT_EQ(panel.grid.policies.size(), 6u);  // {DF,BF,RF} x {CkptW,CkptC}
+  }
+  EXPECT_FALSE(plan.notes.empty());
+}
+
+TEST(ExperimentFiguresTest, Fig7UsesTheTasksOption) {
+  FigureOptions options;
+  options.tasks = 123;
+  const FigurePlan plan = ExperimentRegistry::global().find("fig7").build(options);
+  EXPECT_NE(plan.heading.find("123 tasks"), std::string::npos);
+  ASSERT_EQ(plan.panels.size(), 4u);
+  for (const PanelSpec& panel : plan.panels) {
+    EXPECT_EQ(panel.grid.axis, GridAxis::lambda);
+    ASSERT_EQ(panel.grid.sizes.size(), 1u);
+    EXPECT_EQ(panel.grid.sizes[0], 123u);
+  }
+}
+
+TEST(ExperimentFiguresTest, DowntimeSweepRejectsNegativeDowntimes) {
+  FigureOptions options;
+  options.downtimes = {0.0, -5.0};
+  EXPECT_THROW(ExperimentRegistry::global().find("downtime").build(options), Error);
+}
+
+// --- Shard partitioning ------------------------------------------------
+
+TEST(ShardSpecTest, ParsesWellFormedSpecs) {
+  const ShardSpec whole = ShardSpec::parse("1/1");
+  EXPECT_FALSE(whole.active());
+  const ShardSpec second = ShardSpec::parse("2/4");
+  EXPECT_EQ(second.index, 2u);
+  EXPECT_EQ(second.count, 4u);
+  EXPECT_TRUE(second.active());
+}
+
+TEST(ShardSpecTest, RejectsMalformedSpecs) {
+  for (const std::string bad : {"", "2", "0/2", "3/2", "1/0", "a/2", "1/b", "1/2/3", "-1/2"}) {
+    EXPECT_THROW(ShardSpec::parse(bad), Error) << "'" << bad << "'";
+  }
+}
+
+TEST(ShardRangeTest, ShardsTileTheListContiguouslyAndExhaustively) {
+  for (const std::size_t total : {0u, 1u, 7u, 24u, 100u}) {
+    for (const std::size_t count : {1u, 2u, 3u, 7u, 13u}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t index = 1; index <= count; ++index) {
+        const auto [begin, end] = shard_range(total, {index, count});
+        EXPECT_EQ(begin, expected_begin) << total << " " << index << "/" << count;
+        EXPECT_LE(begin, end);
+        // Balanced to within one element.
+        EXPECT_LE(end - begin, total / count + 1);
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(expected_begin, total);
+    }
+  }
+}
+
+TEST(ShardRangeTest, RejectsOutOfRangeShards) {
+  EXPECT_THROW(shard_range(10, {0, 2}), Error);
+  EXPECT_THROW(shard_range(10, {3, 2}), Error);
+}
+
+// --- run_experiment ----------------------------------------------------
+
+/// A tiny two-panel experiment, cheap enough for unit tests: 2 sizes x 2
+/// policies on Montage plus 1 size x 2 policies on CyberShake = 6
+/// scenarios, strided sweeps throughout.
+Experiment tiny_experiment() {
+  return {"tiny", "two tiny panels", [](const FigureOptions& options) {
+            FigurePlan plan;
+            plan.heading = "tiny experiment";
+            ScenarioGrid first;
+            first.workflows = {WorkflowKind::montage};
+            first.sizes = options.sizes;
+            first.lambdas = {1e-3};
+            first.stride = 16;
+            first.policies = {
+                ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::by_weight}),
+                ScenarioPolicy::fixed({LinearizeMethod::breadth_first, CkptStrategy::by_cost}),
+            };
+            ScenarioGrid second = first;
+            second.workflows = {WorkflowKind::cybershake};
+            second.sizes = {options.sizes.front()};
+            plan.panels = {{first, "panel one", "tiny_one"}, {second, "panel two", "tiny_two"}};
+            plan.notes = "done\n";
+            return plan;
+          }};
+}
+
+FigureOptions tiny_options() {
+  FigureOptions options;
+  options.sizes = {50, 60};
+  return options;
+}
+
+std::string run_ndjson(const Experiment& experiment, const FigureOptions& options,
+                       const ShardSpec& shard) {
+  std::ostringstream os;
+  NdjsonSink sink(os);
+  const std::vector<ResultSink*> sinks{&sink};
+  run_experiment(experiment, options, sinks, nullptr, shard);
+  return os.str();
+}
+
+TEST(RunExperimentTest, StreamsRecordsAndPanelsThroughTheSinks) {
+  const Experiment experiment = tiny_experiment();
+  std::ostringstream records;
+  std::ostringstream panels;
+  NdjsonSink ndjson(records);
+  TableSink table(panels);
+  std::ostringstream text;
+  const std::vector<ResultSink*> sinks{&ndjson, &table};
+  run_experiment(experiment, tiny_options(), sinks, &text);
+
+  const std::string record_out = records.str();
+  EXPECT_EQ(std::count(record_out.begin(), record_out.end(), '\n'), 6);  // 4 + 2 scenarios
+  EXPECT_NE(record_out.find("\"experiment\":\"tiny\""), std::string::npos);
+  EXPECT_NE(record_out.find("\"panel\":\"tiny_one\""), std::string::npos);
+  EXPECT_NE(record_out.find("\"panel\":\"tiny_two\""), std::string::npos);
+
+  EXPECT_NE(panels.str().find("=== panel one ==="), std::string::npos);
+  EXPECT_NE(panels.str().find("=== panel two ==="), std::string::npos);
+  EXPECT_EQ(text.str(), "tiny experiment\ndone\n");
+}
+
+TEST(RunExperimentTest, ShardedNdjsonStreamsConcatenateBitIdentically) {
+  const Experiment experiment = tiny_experiment();
+  const FigureOptions options = tiny_options();
+  const std::string unsharded = run_ndjson(experiment, options, {});
+  ASSERT_FALSE(unsharded.empty());
+
+  for (const std::size_t count : {2u, 3u, 5u}) {
+    std::string merged;
+    for (std::size_t index = 1; index <= count; ++index) {
+      merged += run_ndjson(experiment, options, {index, count});
+    }
+    EXPECT_EQ(merged, unsharded) << count << " shards";
+  }
+}
+
+TEST(RunExperimentTest, ShardedRunsSkipPanelAssembly) {
+  const Experiment experiment = tiny_experiment();
+  std::ostringstream panels;
+  TableSink table(panels);
+  std::ostringstream text;
+  const std::vector<ResultSink*> sinks{&table};
+  run_experiment(experiment, tiny_options(), sinks, &text, {1, 2});
+  EXPECT_EQ(panels.str(), "");           // no panel can be assembled from half a grid
+  EXPECT_NE(text.str().find("tiny experiment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpsched::engine

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -72,9 +75,36 @@ TEST(ResultSinkTest, CsvSinkWritesFileAndLogs) {
   std::remove(path.c_str());
 }
 
-TEST(ResultSinkTest, CsvSinkRejectsUnwritableDirectory) {
-  CsvSink sink("/nonexistent-dir-for-fpsched-test");
-  EXPECT_THROW(sink.emit(sample_panel(), "x"), Error);
+TEST(ResultSinkTest, CsvSinkCreatesMissingDirectory) {
+  const std::string dir = ::testing::TempDir() + "/fpsched_csv_sink_test/nested";
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  CsvSink sink(dir);
+  sink.emit(sample_panel(), "created");
+  EXPECT_TRUE(std::filesystem::is_regular_file(dir + "/created.csv"));
+  std::filesystem::remove_all(::testing::TempDir() + "/fpsched_csv_sink_test");
+}
+
+TEST(ResultSinkTest, CsvSinkRejectsPathThatExistsAsFile) {
+  const std::string path = ::testing::TempDir() + "/fpsched_not_a_directory";
+  { std::ofstream(path) << "occupied"; }
+  EXPECT_THROW(CsvSink sink(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ResultSinkTest, CsvSerializesRatiosAtRoundTripPrecision) {
+  Panel panel = sample_panel();
+  panel.series[0].values[0] = 1.0 / 3.0;
+  std::ostringstream human;
+  panel_table(panel).print(human);
+  EXPECT_NE(human.str().find("0.3333 "), std::string::npos);  // 4 decimals for eyes
+  EXPECT_EQ(human.str().find("0.33333333"), std::string::npos);
+
+  std::ostringstream machine;
+  panel_table(panel, /*machine_precision=*/true).to_csv(machine);
+  const std::string csv = machine.str();
+  const std::size_t pos = csv.find("0.33333333333333331");  // max_digits10 of 1/3
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::strtod(csv.c_str() + pos, nullptr), 1.0 / 3.0);
 }
 
 TEST(ResultSinkTest, AssemblePanelMapsGridResultsToSeries) {
@@ -163,18 +193,109 @@ TEST(ResultSinkTest, AssemblePanelRejectsMultiValuedNonAxisDimensions) {
   EXPECT_THROW(assemble_panel(grid, results, "t"), Error);
 }
 
-TEST(ResultSinkTest, AssemblePanelValidatesShape) {
+TEST(ResultSinkTest, AssemblePanelRejectsMultipleWorkflowsNamingThem) {
   ScenarioGrid grid;
   grid.workflows = {WorkflowKind::montage, WorkflowKind::ligo};
   grid.sizes = {50};
   grid.policies = {ScenarioPolicy::best_lin(CkptStrategy::by_weight)};
   const std::vector<ScenarioResult> results(grid.scenario_count());
-  EXPECT_THROW(assemble_panel(grid, results, "t"), Error);  // two workflows
+  try {
+    assemble_panel(grid, results, "t");
+    FAIL() << "expected a single-workflow rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("single-workflow"), std::string::npos) << what;
+    EXPECT_NE(what.find("Montage"), std::string::npos) << what;
+    EXPECT_NE(what.find("Ligo"), std::string::npos) << what;
+  }
+}
 
-  ScenarioGrid ok = grid;
-  ok.workflows = {WorkflowKind::montage};
-  const std::vector<ScenarioResult> wrong(3);
-  EXPECT_THROW(assemble_panel(ok, wrong, "t"), Error);  // result count mismatch
+TEST(ResultSinkTest, AssemblePanelRejectsResultCountMismatchNamingTheKind) {
+  ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::cybershake};
+  grid.sizes = {50, 60};
+  grid.policies = {ScenarioPolicy::best_lin(CkptStrategy::by_weight)};
+  const std::vector<ScenarioResult> wrong(3);  // grid has 2 scenarios
+  try {
+    assemble_panel(grid, wrong, "t");
+    FAIL() << "expected a result-count rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("results do not match the grid"), std::string::npos) << what;
+    EXPECT_NE(what.find("CyberShake"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+    EXPECT_NE(what.find("2"), std::string::npos) << what;
+  }
+}
+
+ScenarioResult sample_result() {
+  ScenarioResult result;
+  result.spec.workflow = WorkflowKind::montage;
+  result.spec.task_count = 50;
+  result.spec.model = FailureModel(1e-3, 60.0);
+  result.spec.cost_model = CostModel::proportional(0.1);
+  result.spec.policy =
+      ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::by_weight});
+  result.spec.workflow_seed = 42;
+  result.spec.weight_cv = 0.25;
+  result.spec.stride = 4;
+  result.spec.scenario_index = 7;
+  result.linearization = LinearizeMethod::depth_first;
+  result.best_budget = 13;
+  result.evaluation.expected_makespan = 1887.5;
+  result.evaluation.ratio = 1.25;
+  return result;
+}
+
+TEST(ResultSinkTest, ToJsonGoldenRecord) {
+  const ScenarioResult result = sample_result();
+  const ResultRecord record{"fig2", "fig2a_montage", result};
+  EXPECT_EQ(to_json(record),
+            "{\"experiment\":\"fig2\",\"panel\":\"fig2a_montage\",\"workflow\":\"Montage\","
+            "\"tasks\":50,\"lambda\":0.001,\"downtime\":60,\"cost_model\":\"proportional\","
+            "\"cost_parameter\":0.10000000000000001,\"policy_kind\":\"fixed\","
+            "\"policy\":\"DF-CkptW\",\"workflow_seed\":42,\"weight_cv\":0.25,\"stride\":4,"
+            "\"scenario_index\":7,\"linearization\":\"DF\",\"best_budget\":13,"
+            "\"expected_makespan\":1887.5,\"ratio\":1.25}");
+}
+
+TEST(ResultSinkTest, ToJsonRoundTripsRatiosAndQuotesNonFinite) {
+  ScenarioResult result = sample_result();
+  result.evaluation.ratio = 0.1 + 0.2;  // classically unrepresentable as "0.3"
+  const std::string line = to_json({"e", "p", result});
+  const std::size_t pos = line.find("\"ratio\":");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::strtod(line.c_str() + pos + 8, nullptr), 0.1 + 0.2);
+
+  result.evaluation.ratio = std::numeric_limits<double>::infinity();
+  EXPECT_NE(to_json({"e", "p", result}).find("\"ratio\":\"inf\""), std::string::npos);
+}
+
+TEST(ResultSinkTest, NdjsonSinkStreamsOneLinePerRecord) {
+  const ScenarioResult result = sample_result();
+  std::ostringstream os;
+  NdjsonSink sink(os);
+  sink.record({"fig2", "a", result});
+  sink.record({"fig2", "b", result});
+  sink.finish();  // no-op for NDJSON, but part of the sink contract
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_EQ(out.find('{'), 0u);
+  EXPECT_NE(out.find("\"panel\":\"b\""), std::string::npos);
+}
+
+TEST(ResultSinkTest, JsonSinkBuffersIntoOneArray) {
+  const ScenarioResult result = sample_result();
+  std::ostringstream os;
+  JsonSink sink(os);
+  sink.record({"fig2", "a", result});
+  sink.record({"fig2", "b", result});
+  EXPECT_TRUE(os.str().empty());  // nothing until finish()
+  sink.finish();
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("[\n"), 0u);
+  EXPECT_NE(out.find("},\n"), std::string::npos);
+  EXPECT_EQ(out.rfind("]\n"), out.size() - 2);
 }
 
 TEST(ResultSinkTest, EndToEndGridToPanel) {
