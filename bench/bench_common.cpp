@@ -7,6 +7,7 @@
 
 #include "engine/result_sink.hpp"
 #include "support/error.hpp"
+#include "support/socket.hpp"
 
 namespace fpsched::bench {
 
@@ -52,10 +53,7 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
       if (d < 0.0) throw InvalidArgument("option --downtimes: downtimes must be >= 0");
     }
   }
-  if (cli.get_flag("quick")) {
-    options.sizes = {50, 100, 200, 300};
-    options.stride = std::max<std::size_t>(options.stride, 4);
-  }
+  if (cli.get_flag("quick")) engine::apply_quick_options(options);
   return options;
 }
 
@@ -79,6 +77,7 @@ void run_figure_experiment(std::ostream& os, const engine::Experiment& experimen
 
 int figure_main(const std::string& name, int argc, const char* const* argv) {
   try {
+    ignore_sigpipe();  // `fig2_linearization | head` must not kill the run
     const engine::Experiment& experiment = engine::ExperimentRegistry::global().find(name);
     CliParser cli(experiment.summary);
     // Only sweep figures take --tasks/--downtimes; the size-axis binaries
@@ -88,6 +87,13 @@ int figure_main(const std::string& name, int argc, const char* const* argv) {
     const auto options = parse_figure_options(cli, argc, argv);
     if (!options) return 0;
     run_figure_experiment(std::cout, experiment, *options);
+    // With SIGPIPE ignored a dead consumer surfaces as a failed stream;
+    // truncated figure output must not exit 0.
+    std::cout.flush();
+    if (!std::cout.good()) {
+      std::cerr << "error: stdout failed mid-write (closed pipe?)\n";
+      return 1;
+    }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

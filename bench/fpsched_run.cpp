@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "engine/result_sink.hpp"
 #include "support/error.hpp"
+#include "support/socket.hpp"
 
 using namespace fpsched;
 using namespace fpsched::bench;
@@ -148,6 +149,11 @@ int main(int argc, char** argv) {
                  "only — shard outputs concatenate to the bit-identical unsharded run");
   add_sweep_options(cli);
   try {
+    // SIGPIPE must not kill an hours-long run whose consumer went away
+    // (`fpsched_run ... | head`, a vanished reader of --out on a FIFO):
+    // with the signal ignored, writes fail with EPIPE, the stream check
+    // after each run reports it, and the process exits cleanly.
+    ignore_sigpipe();
     const auto options = parse_figure_options(cli, argc, argv);
     if (!options) return 0;
     if (cli.get_flag("list")) {
@@ -156,8 +162,12 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string>& names = cli.positionals();
     if (names.empty()) {
-      throw InvalidArgument(
-          "no experiments named; pass names (e.g. fpsched_run fig2 fig7) or --list");
+      // An argument-less invocation is someone exploring, not a run:
+      // show the usage, and exit non-zero so scripts notice.
+      std::cerr << "error: no experiments named and no --list\n\nusage: fpsched_run "
+                   "<experiment>... [options]\n\n"
+                << cli.help_text();
+      return 2;
     }
 
     engine::ShardSpec shard;
@@ -200,11 +210,30 @@ int main(int argc, char** argv) {
     for (const std::string& name : names) {
       experiments.push_back(&engine::ExperimentRegistry::global().find(name));
     }
+    const bool records_to_stdout =
+        out_dir.empty() && (formats.contains("ndjson") || formats.contains("json"));
     for (const engine::Experiment* experiment : experiments) {
       const SinkStack stack = make_sinks(formats, *options, out_dir, experiment->name, shard);
       const auto sinks = stack.pointers();
       engine::run_experiment(*experiment, *options, sinks, stack.text ? &std::cout : nullptr,
                              shard);
+      // With SIGPIPE ignored a dead consumer surfaces as a failed
+      // stream, not a dead process — but silently truncated output must
+      // still fail the run. Flush first: a buffered failure (full disk)
+      // would otherwise only surface in the destructor, after the check.
+      for (const auto& file : stack.files) {
+        file->flush();
+        if (!file->good()) {
+          throw Error("record stream for " + experiment->name +
+                      " failed mid-write (closed pipe or out of disk space?)");
+        }
+      }
+      if (records_to_stdout || stack.text) {
+        std::cout.flush();
+        if (!std::cout.good()) {
+          throw Error("stdout stream failed mid-write (closed pipe?)");
+        }
+      }
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,75 @@
+// fpsched_serve — the experiment registry as an HTTP service.
+//
+//   $ fpsched_serve --port 8080 --threads 4 --max-jobs 64
+//   $ curl localhost:8080/healthz
+//   $ curl localhost:8080/experiments
+//   $ curl -X POST 'localhost:8080/runs?experiment=fig2&quick=1'
+//   $ curl localhost:8080/runs/1/records        # live NDJSON stream
+//
+// The record stream of a run is byte-identical to
+// `fpsched_run <experiment> --format ndjson`, so HTTP clients and batch
+// pipelines consume the same bytes. Runs execute on the in-process
+// ExperimentEngine (each saturating the machine's cores), queued in
+// submission order. SIGINT/SIGTERM shut the server down cleanly; a run
+// already executing finishes first (kill again to abandon it).
+#include <csignal>
+#include <iostream>
+
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+using namespace fpsched;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fpsched_serve — serve experiment listings, run submission and live NDJSON record "
+      "streams over HTTP.");
+  cli.add_option("port", "8080", "TCP port to listen on (0 = pick an ephemeral port)");
+  cli.add_option("threads", "4",
+                 "HTTP connection worker threads (also the max concurrent requests; record "
+                 "streams each occupy one)");
+  cli.add_option("max-jobs", "64",
+                 "max runs held in memory (queued + running + finished); further submissions "
+                 "are rejected with 429");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::size_t port = cli.get_count("port");
+    if (port > 65535) throw InvalidArgument("option --port: must be <= 65535");
+
+    service::ServiceOptions options;
+    options.http.port = static_cast<std::uint16_t>(port);
+    options.http.threads = cli.get_count("threads", 1);
+    options.jobs.max_jobs = cli.get_count("max-jobs", 1);
+
+    ignore_sigpipe();
+    // Block the shutdown signals before any thread exists so every
+    // worker inherits the mask and sigwait() below is the sole consumer.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    service::ExperimentService service(options);
+    service.start();
+    std::cout << "fpsched_serve listening on port " << service.port() << " ("
+              << options.http.threads << " worker threads, max " << options.jobs.max_jobs
+              << " jobs)" << std::endl;
+
+    int signal = 0;
+    sigwait(&signals, &signal);
+    std::cout << "received " << (signal == SIGINT ? "SIGINT" : "SIGTERM")
+              << ", shutting down" << std::endl;
+    // Restore default dispositions before the (possibly long) drain —
+    // stop() waits for an in-flight run, and a second SIGINT/SIGTERM
+    // must be able to abandon it instead of staying blocked forever.
+    pthread_sigmask(SIG_UNBLOCK, &signals, nullptr);
+    service.stop();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

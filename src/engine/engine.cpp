@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <mutex>
 
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -121,13 +122,45 @@ class WorkerInstanceCaches {
   std::vector<std::unique_ptr<InstanceCache>> caches_;
 };
 
+/// Turns out-of-order scenario completions into the in-order
+/// ResultCallback contract: a worker marks its slot done, and whoever
+/// extends the completed prefix delivers the pending callbacks under one
+/// mutex (which also serializes the callback itself — consumers need no
+/// locking of their own).
+class OrderedEmitter {
+ public:
+  OrderedEmitter(const ExperimentEngine::ResultCallback& on_result,
+                 const std::vector<ScenarioResult>& results)
+      : on_result_(on_result), results_(results), done_(results.size(), false) {}
+
+  void complete(std::size_t index) {
+    if (!on_result_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_[index] = true;
+    while (next_ < done_.size() && done_[next_]) {
+      on_result_(next_, results_[next_]);
+      ++next_;
+    }
+  }
+
+ private:
+  const ExperimentEngine::ResultCallback& on_result_;
+  const std::vector<ScenarioResult>& results_;
+  std::vector<char> done_;
+  std::size_t next_ = 0;
+  std::mutex mutex_;
+};
+
 }  // namespace
 
-std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> specs) const {
+std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> specs,
+                                                  const ResultCallback& on_result) const {
   std::vector<ScenarioResult> results(specs.size());
+  OrderedEmitter emitter(on_result, results);
   if (!instance_cache_) {
     for_each(specs.size(), [&](std::size_t index, EvaluatorWorkspace& workspace) {
       results[index] = run_scenario(specs[index], workspace);
+      emitter.complete(index);
     });
     return results;
   }
@@ -141,6 +174,7 @@ std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> 
     WorkerInstanceCaches caches;
     for (std::size_t index = 0; index < specs.size(); ++index) {
       results[index] = run_scenario(specs[index], caches.for_spec(specs[index]));
+      emitter.complete(index);
     }
     return results;
   }
@@ -149,6 +183,7 @@ std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> 
       0, specs.size(),
       [&](std::size_t index, std::size_t worker) {
         results[index] = run_scenario(specs[index], worker_caches[worker].for_spec(specs[index]));
+        emitter.complete(index);
       },
       threads_);
   return results;

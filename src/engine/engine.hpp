@@ -68,9 +68,18 @@ class ExperimentEngine {
   /// linearization on top.
   HeuristicOptions worker_options(EvaluatorWorkspace& workspace) const;
 
+  /// Streaming hook for run(): called once per scenario with its input
+  /// index and result. Deliveries are serialized and strictly ordered —
+  /// index i fires only after every j < i has fired — so a consumer can
+  /// stream records live, in flattened order, while later scenarios are
+  /// still computing on other workers.
+  using ResultCallback = std::function<void(std::size_t, const ScenarioResult&)>;
+
   /// Runs every scenario; results come back in input order and are
-  /// independent of the thread count.
-  std::vector<ScenarioResult> run(std::span<const ScenarioSpec> specs) const;
+  /// independent of the thread count. A non-null `on_result` receives
+  /// each result in input order as soon as its ordered prefix completes.
+  std::vector<ScenarioResult> run(std::span<const ScenarioSpec> specs,
+                                  const ResultCallback& on_result = {}) const;
 
   /// Enumerates and runs a grid.
   std::vector<ScenarioResult> run(const ScenarioGrid& grid) const;

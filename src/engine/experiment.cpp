@@ -1,5 +1,6 @@
 #include "engine/experiment.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "engine/engine.hpp"
@@ -86,6 +87,21 @@ std::pair<std::size_t, std::size_t> shard_range(std::size_t total, const ShardSp
   return {total * (shard.index - 1) / shard.count, total * shard.index / shard.count};
 }
 
+void apply_quick_options(FigureOptions& options) {
+  options.sizes = {50, 100, 200, 300};
+  options.stride = std::max<std::size_t>(options.stride, 4);
+}
+
+std::vector<PlannedScenario> flatten_plan(const FigurePlan& plan) {
+  std::vector<PlannedScenario> flattened;
+  for (const PanelSpec& panel : plan.panels) {
+    for (ScenarioSpec& spec : panel.grid.enumerate()) {
+      flattened.push_back({panel.slug, std::move(spec)});
+    }
+  }
+  return flattened;
+}
+
 void run_experiment(const Experiment& experiment, const FigureOptions& options,
                     std::span<ResultSink* const> sinks, std::ostream* text,
                     const ShardSpec& shard) {
@@ -108,16 +124,22 @@ void run_experiment(const Experiment& experiment, const FigureOptions& options,
   const auto [begin, end] = shard_range(specs.size(), shard);
   const ExperimentEngine engine(
       {.threads = options.threads, .instance_cache = options.instance_cache});
-  const std::vector<ScenarioResult> results =
-      engine.run(std::span<const ScenarioSpec>(specs).subspan(begin, end - begin));
 
-  // Level 1: every scenario result as a record, in flattened order.
+  // Level 1: every scenario result as a record, in flattened order —
+  // streamed live through the engine's ordered callback, so a record
+  // sink (NDJSON file, HTTP stream) sees each result as soon as its
+  // ordered prefix completes instead of after the whole slice. The
+  // callback's deliveries are strictly ordered and serialized, so the
+  // monotone panel_index walk over the offsets is safe.
   std::size_t panel_index = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    while (panel_index + 1 < offsets.size() && i >= offsets[panel_index + 1]) ++panel_index;
-    const ResultRecord record{experiment.name, plan.panels[panel_index].slug, results[i - begin]};
-    for (ResultSink* sink : sinks) sink->record(record);
-  }
+  const std::vector<ScenarioResult> results = engine.run(
+      std::span<const ScenarioSpec>(specs).subspan(begin, end - begin),
+      [&](std::size_t offset_in_slice, const ScenarioResult& result) {
+        const std::size_t i = begin + offset_in_slice;
+        while (panel_index + 1 < offsets.size() && i >= offsets[panel_index + 1]) ++panel_index;
+        const ResultRecord record{experiment.name, plan.panels[panel_index].slug, result};
+        for (ResultSink* sink : sinks) sink->record(record);
+      });
 
   // Level 2: assembled panels — only when this process ran the whole
   // grid (a shard's slice does not cover whole panels).

@@ -124,6 +124,24 @@ struct ShardSpec {
 /// exhaustive, and balanced to within one element.
 std::pair<std::size_t, std::size_t> shard_range(std::size_t total, const ShardSpec& shard);
 
+/// The `--quick` shrink shared by the bench CLI and the HTTP service:
+/// small size grid, sweep stride raised to at least 4. Kept in one place
+/// so a service-run "quick" grid is the same grid the binaries smoke-run.
+void apply_quick_options(FigureOptions& options);
+
+/// One record-producing position of a plan: the owning panel's slug plus
+/// the enumerated spec (spec.scenario_index is grid-local, so the pair
+/// `(panel, spec.scenario_index)` identifies the position).
+struct PlannedScenario {
+  std::string panel;
+  ScenarioSpec spec;
+};
+
+/// The plan's panels flattened into the run/record order of
+/// run_experiment — the reference sequence shard merge tooling validates
+/// per-shard NDJSON files against.
+std::vector<PlannedScenario> flatten_plan(const FigurePlan& plan);
+
 // --- Figure grid builders (shared by the registered figures) -----------
 
 /// Grid of Figures 2 and 4: the six BF/DF/RF x CkptW/CkptC fixed series
@@ -155,12 +173,14 @@ std::string best_lin_panel_title(WorkflowKind kind, const std::string& subtitle)
 /// Builds the experiment's plan, runs every panel's scenarios through ONE
 /// sharded engine pass (so the whole figure, not just each panel,
 /// load-balances across workers), and streams the output through `sinks`:
-/// every scenario result as a ResultRecord first, then — for unsharded
-/// runs — the assembled panels in order. `text` (when non-null) receives
-/// the plan's heading before and notes after the panels. With an active
-/// shard only that contiguous slice of the flattened scenario list runs;
-/// panel assembly is skipped, records still stream in slice order.
-/// Calls finish() on every sink.
+/// every scenario result as a ResultRecord first — delivered live, in
+/// flattened order, as the completed prefix grows (the engine's ordered
+/// callback), so record sinks see results while later scenarios still
+/// compute — then, for unsharded runs, the assembled panels in order.
+/// `text` (when non-null) receives the plan's heading before and notes
+/// after the panels. With an active shard only that contiguous slice of
+/// the flattened scenario list runs; panel assembly is skipped, records
+/// still stream in slice order. Calls finish() on every sink.
 void run_experiment(const Experiment& experiment, const FigureOptions& options,
                     std::span<ResultSink* const> sinks, std::ostream* text,
                     const ShardSpec& shard = {});

@@ -118,10 +118,7 @@ void ensure_output_directory(const std::string& directory) {
 
 // --- JSON records ------------------------------------------------------
 
-namespace {
-
-/// JSON string escaping for the few label characters that need it.
-std::string json_string(std::string_view value) {
+std::string json_quote(std::string_view value) {
   std::string out = "\"";
   for (const char c : value) {
     switch (c) {
@@ -143,10 +140,12 @@ std::string json_string(std::string_view value) {
   return out;
 }
 
+namespace {
+
 /// Round-trip JSON number; inf/nan (legal ratios — a schedule may never
 /// finish) have no JSON literal and become strings.
 std::string json_number(double value) {
-  if (!std::isfinite(value)) return json_string(format_double_full(value));
+  if (!std::isfinite(value)) return json_quote(format_double_full(value));
   return format_double_full(value);
 }
 
@@ -163,22 +162,22 @@ std::string_view cost_model_kind(const CostModel& model) {
 std::string to_json(const ResultRecord& record) {
   const ScenarioSpec& spec = record.result.spec;
   std::ostringstream os;
-  os << '{' << "\"experiment\":" << json_string(record.experiment)
-     << ",\"panel\":" << json_string(record.panel)
-     << ",\"workflow\":" << json_string(to_string(spec.workflow))
+  os << '{' << "\"experiment\":" << json_quote(record.experiment)
+     << ",\"panel\":" << json_quote(record.panel)
+     << ",\"workflow\":" << json_quote(to_string(spec.workflow))
      << ",\"tasks\":" << spec.task_count << ",\"lambda\":" << json_number(spec.model.lambda())
      << ",\"downtime\":" << json_number(spec.model.downtime())
-     << ",\"cost_model\":" << json_string(cost_model_kind(spec.cost_model))
+     << ",\"cost_model\":" << json_quote(cost_model_kind(spec.cost_model))
      << ",\"cost_parameter\":" << json_number(spec.cost_model.parameter)
      << ",\"policy_kind\":"
-     << json_string(spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic
+     << json_quote(spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic
                         ? "fixed"
                         : "best_linearization")
-     << ",\"policy\":" << json_string(spec.policy.name())
+     << ",\"policy\":" << json_quote(spec.policy.name())
      << ",\"workflow_seed\":" << spec.workflow_seed
      << ",\"weight_cv\":" << json_number(spec.weight_cv) << ",\"stride\":" << spec.stride
      << ",\"scenario_index\":" << spec.scenario_index
-     << ",\"linearization\":" << json_string(to_string(record.result.linearization))
+     << ",\"linearization\":" << json_quote(to_string(record.result.linearization))
      << ",\"best_budget\":" << record.result.best_budget
      << ",\"expected_makespan\":" << json_number(record.result.evaluation.expected_makespan)
      << ",\"ratio\":" << json_number(record.result.evaluation.ratio) << '}';
@@ -233,6 +232,17 @@ void CsvSink::emit(const Panel& panel, const std::string& slug) {
   if (!csv.good()) throw InvalidArgument("cannot open " + path + " for writing");
   panel_table(panel, /*machine_precision=*/true).to_csv(csv);
   if (log_) *log_ << "  [csv written to " << path << "]\n";
+}
+
+CallbackSink::CallbackSink(RecordFn on_record, FinishFn on_finish)
+    : on_record_(std::move(on_record)), on_finish_(std::move(on_finish)) {
+  ensure(static_cast<bool>(on_record_), "CallbackSink needs a record callback");
+}
+
+void CallbackSink::record(const ResultRecord& record) { on_record_(record); }
+
+void CallbackSink::finish() {
+  if (on_finish_) on_finish_();
 }
 
 NdjsonSink::NdjsonSink(std::ostream& os) : os_(os) {}

@@ -20,6 +20,7 @@
 // stream records as they arrive.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -62,6 +63,11 @@ struct ResultRecord {
 /// (max_digits10); non-finite values become the JSON strings "inf" /
 /// "-inf" / "nan" since JSON has no literal for them.
 std::string to_json(const ResultRecord& record);
+
+/// `value` as a quoted JSON string (escapes quotes, backslashes and
+/// control characters) — the one escaper every JSON-emitting layer
+/// (records, HTTP service) shares.
+std::string json_quote(std::string_view value);
 
 /// The panel as a printable/CSV-able table (x column plus one column per
 /// series; lambda grids format x with 6 decimals, size grids as integers,
@@ -134,6 +140,26 @@ class CsvSink : public ResultSink {
  private:
   std::string directory_;
   std::ostream* log_;
+};
+
+/// Invokes a callback per record (plus an optional one on finish) — the
+/// in-process streaming adapter behind consumers that are not ostreams,
+/// e.g. the HTTP service appending NDJSON lines to a live job buffer.
+/// The record callback is required; the views inside the ResultRecord
+/// only outlive the call if the callback copies what it keeps.
+class CallbackSink : public ResultSink {
+ public:
+  using RecordFn = std::function<void(const ResultRecord&)>;
+  using FinishFn = std::function<void()>;
+
+  /// Throws InvalidArgument when `on_record` is empty.
+  explicit CallbackSink(RecordFn on_record, FinishFn on_finish = {});
+  void record(const ResultRecord& record) override;
+  void finish() override;
+
+ private:
+  RecordFn on_record_;
+  FinishFn on_finish_;
 };
 
 /// Streams each record as one JSON object per line (NDJSON).

@@ -1,0 +1,171 @@
+#include "service/job_manager.hpp"
+
+#include "engine/result_sink.hpp"
+
+namespace fpsched::service {
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::completed: return "completed";
+    case JobState::failed: return "failed";
+  }
+  return "?";
+}
+
+JobManager::JobManager(const engine::ExperimentRegistry& registry, Options options)
+    : registry_(registry), options_(options) {
+  ensure(options_.max_jobs >= 1, "the job manager needs max_jobs >= 1");
+  ensure(options_.executors >= 1, "the job manager needs at least one executor");
+  executors_.reserve(options_.executors);
+  for (std::size_t i = 0; i < options_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+JobManager::~JobManager() { stop(); }
+
+std::uint64_t JobManager::submit(JobRequest request) {
+  // Validate the whole request up front — the registry lookup, the plan
+  // build, and the grid validation all throw InvalidArgument with a
+  // message worth relaying to the client — so a bad request fails the
+  // submission, never the executor.
+  const engine::Experiment& experiment = registry_.find(request.experiment);
+  const engine::FigurePlan plan = experiment.build(request.options);
+  std::size_t total = 0;
+  for (const engine::PanelSpec& panel : plan.panels) {
+    panel.grid.validate();
+    total += panel.grid.scenario_count();
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure(!stopping_, "the job manager is shutting down");
+  if (jobs_.size() >= options_.max_jobs) {
+    throw TooManyJobs("job capacity reached (" + std::to_string(options_.max_jobs) +
+                      " jobs held); raise --max-jobs or restart the server");
+  }
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->request = std::move(request);
+  job->total_scenarios = total;
+  const std::uint64_t id = job->id;
+  jobs_.push_back(std::move(job));
+  changed_.notify_all();
+  return id;
+}
+
+JobStatus JobManager::snapshot_locked(const Job& job) const {
+  JobStatus status;
+  status.id = job.id;
+  status.experiment = job.request.experiment;
+  status.state = job.state;
+  status.records = job.lines.size();
+  status.total_scenarios = job.total_scenarios;
+  status.error = job.error;
+  return status;
+}
+
+std::optional<JobStatus> JobManager::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& job : jobs_) {
+    if (job->id == id) return snapshot_locked(*job);
+  }
+  return std::nullopt;
+}
+
+std::vector<JobStatus> JobManager::jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& job : jobs_) out.push_back(snapshot_locked(*job));
+  return out;
+}
+
+std::size_t JobManager::job_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+std::optional<JobStatus> JobManager::stream_records(
+    std::uint64_t id, const std::function<bool(std::string_view line)>& write) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Job* job = nullptr;
+  for (const auto& candidate : jobs_) {
+    if (candidate->id == id) {
+      job = candidate.get();
+      break;
+    }
+  }
+  if (!job) return std::nullopt;
+
+  std::size_t sent = 0;
+  for (;;) {
+    while (sent < job->lines.size()) {
+      // Copy the line out so the (possibly slow) client write happens
+      // without blocking the executor appending new records.
+      const std::string line = job->lines[sent];
+      ++sent;
+      lock.unlock();
+      const bool alive = write(line);
+      lock.lock();
+      if (!alive) return snapshot_locked(*job);
+    }
+    const bool terminal = job->state == JobState::completed || job->state == JobState::failed;
+    if ((terminal && sent == job->lines.size()) || stopping_) return snapshot_locked(*job);
+    changed_.wait(lock);
+  }
+}
+
+void JobManager::executor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    changed_.wait(lock, [this] { return stopping_ || next_queued_ < jobs_.size(); });
+    if (stopping_) return;  // queued jobs are abandoned on shutdown
+    Job& job = *jobs_[next_queued_++];
+    job.state = JobState::running;
+    changed_.notify_all();
+    lock.unlock();
+    run_job(job);
+    lock.lock();
+    changed_.notify_all();
+  }
+}
+
+void JobManager::run_job(Job& job) {
+  // Mutating `job` without the lock is safe for the fields touched here:
+  // the executor is the only writer of state/error once running, and
+  // lines are only appended under the lock inside the callback.
+  try {
+    const engine::Experiment& experiment = registry_.find(job.request.experiment);
+    engine::CallbackSink sink([&](const engine::ResultRecord& record) {
+      std::string line = engine::to_json(record);
+      line += '\n';
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job.lines.push_back(std::move(line));
+      changed_.notify_all();
+    });
+    engine::ResultSink* sinks[] = {&sink};
+    engine::run_experiment(experiment, job.request.options, sinks, nullptr);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.state = JobState::completed;
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.state = JobState::failed;
+    job.error = e.what();
+  }
+}
+
+void JobManager::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  changed_.notify_all();
+  for (std::thread& executor : executors_) {
+    if (executor.joinable()) executor.join();
+  }
+}
+
+}  // namespace fpsched::service

@@ -1,0 +1,138 @@
+// JobManager: the experiment-run queue behind the HTTP service.
+//
+// A job is one registered experiment run (name + FigureOptions). submit()
+// validates the request against the registry — including building the
+// plan, so a bad option fails the POST, not the worker — then enqueues
+// it. A fixed set of executor threads (one by default: each job already
+// parallelizes across cores inside the ExperimentEngine) pops jobs in
+// submission order and runs them through run_experiment with a
+// CallbackSink that appends each record's NDJSON line to the job's
+// buffer. Streaming readers follow that buffer under a condition
+// variable, so `GET /runs/{id}/records` delivers records live as
+// scenarios complete and the full stream is byte-identical to
+// `fpsched_run <name> --format ndjson`.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/experiment.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::service {
+
+enum class JobState : std::uint8_t { queued, running, completed, failed };
+
+std::string to_string(JobState state);
+
+/// One run request: a registered experiment name plus the options the
+/// builder consumes (the HTTP layer parses these from query params or a
+/// JSON body).
+struct JobRequest {
+  std::string experiment;
+  engine::FigureOptions options;
+};
+
+/// Point-in-time snapshot of a job (records counts what has streamed so
+/// far; total_scenarios is the flattened scenario count, known at
+/// submission).
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string experiment;
+  JobState state = JobState::queued;
+  std::size_t records = 0;
+  std::size_t total_scenarios = 0;
+  std::string error;  // failed jobs only
+};
+
+/// JobManager tuning. (A top-level struct, not a nested one: a nested
+/// class with default member initializers cannot be a `= {}` default
+/// argument inside its enclosing class.)
+struct JobManagerOptions {
+  /// Ceiling on jobs held in memory (queued + running + finished);
+  /// submissions beyond it are rejected so an unattended server cannot
+  /// grow without bound.
+  std::size_t max_jobs = 64;
+  /// Executor threads. 1 serializes jobs — usually right, since each
+  /// job saturates the machine through the engine's own sharding.
+  std::size_t executors = 1;
+};
+
+class JobManager {
+ public:
+  using Options = JobManagerOptions;
+
+  explicit JobManager(const engine::ExperimentRegistry& registry, Options options = {});
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validates and enqueues; returns the job id. Throws InvalidArgument
+  /// for an unknown experiment or options the builder rejects, and
+  /// TooManyJobs when max_jobs is reached.
+  std::uint64_t submit(JobRequest request);
+
+  std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// All jobs, oldest first.
+  std::vector<JobStatus> jobs() const;
+
+  std::size_t job_count() const;
+
+  /// Streams the job's NDJSON record lines (each with its trailing
+  /// newline) through `write`, in record order, blocking until the job
+  /// reaches a terminal state, `write` returns false (client gone), or
+  /// the manager stops. Returns the job's status at exit, or nullopt for
+  /// an unknown id.
+  std::optional<JobStatus> stream_records(
+      std::uint64_t id, const std::function<bool(std::string_view line)>& write) const;
+
+  /// Wakes streamers and joins the executors once the in-flight job (if
+  /// any) finishes. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobRequest request;
+    JobState state = JobState::queued;
+    std::vector<std::string> lines;  // NDJSON records, each "\n"-terminated
+    std::size_t total_scenarios = 0;
+    std::string error;
+  };
+
+  JobStatus snapshot_locked(const Job& job) const;
+  void executor_loop();
+  void run_job(Job& job);
+
+  const engine::ExperimentRegistry& registry_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  /// Signals every state change: new records, state transitions, new
+  /// queued jobs, shutdown.
+  mutable std::condition_variable changed_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::size_t next_queued_ = 0;  // executor cursor into jobs_
+  bool stopping_ = false;
+  std::vector<std::thread> executors_;
+};
+
+/// Thrown by submit() when the manager is at max_jobs capacity (the HTTP
+/// layer maps it to 429).
+class TooManyJobs : public Error {
+ public:
+  explicit TooManyJobs(const std::string& what) : Error(what) {}
+};
+
+}  // namespace fpsched::service

@@ -1,0 +1,385 @@
+#include "service/service.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "engine/result_sink.hpp"
+
+namespace fpsched::service {
+
+using engine::json_quote;
+
+namespace {
+
+// --- Option-value parsers (the HTTP twin of CliParser's getters) -------
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const std::string& expected) {
+  throw InvalidArgument("parameter '" + key + "': expected " + expected + ", got '" + value +
+                        "'");
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    bad_value(key, value, "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size()) {
+    bad_value(key, value, "a non-negative integer");
+  }
+  return parsed;
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || errno == ERANGE || end != value.c_str() + value.size()) {
+    bad_value(key, value, "a number");
+  }
+  return parsed;
+}
+
+bool parse_bool(const std::string& key, std::string value) {
+  for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  // A bare query key ("?quick") arrives as the empty string and means on.
+  if (value.empty() || value == "1" || value == "true" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") return false;
+  bad_value(key, value, "a boolean (1/0, true/false, yes/no, on/off)");
+}
+
+std::vector<std::string> split_list(const std::string& key, const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t end = value.find(',', start);
+    if (end == std::string::npos) end = value.size();
+    if (end == start) bad_value(key, value, "a non-empty comma-separated list");
+    items.push_back(value.substr(start, end - start));
+    start = end + 1;
+  }
+  return items;
+}
+
+}  // namespace
+
+JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
+  JobRequest request;
+  bool quick = false;
+  for (const auto& [key, value] : params) {
+    if (key == "experiment") {
+      request.experiment = value;
+    } else if (key == "sizes") {
+      request.options.sizes.clear();
+      for (const std::string& item : split_list(key, value)) {
+        const std::uint64_t size = parse_u64(key, item);
+        if (size < 1) bad_value(key, item, "a task count >= 1");
+        request.options.sizes.push_back(static_cast<std::size_t>(size));
+      }
+    } else if (key == "stride") {
+      const std::uint64_t stride = parse_u64(key, value);
+      if (stride < 1) bad_value(key, value, "a stride >= 1");
+      request.options.stride = static_cast<std::size_t>(stride);
+    } else if (key == "seed") {
+      request.options.seed = parse_u64(key, value);
+    } else if (key == "weight_cv") {
+      request.options.weight_cv = parse_number(key, value);
+    } else if (key == "threads") {
+      request.options.threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "tasks") {
+      const std::uint64_t tasks = parse_u64(key, value);
+      if (tasks < 1) bad_value(key, value, "a task count >= 1");
+      request.options.tasks = static_cast<std::size_t>(tasks);
+    } else if (key == "downtimes") {
+      request.options.downtimes.clear();
+      for (const std::string& item : split_list(key, value)) {
+        const double downtime = parse_number(key, item);
+        if (downtime < 0.0) bad_value(key, item, "a downtime >= 0");
+        request.options.downtimes.push_back(downtime);
+      }
+    } else if (key == "quick") {
+      quick = parse_bool(key, value);
+    } else if (key == "instance_cache") {
+      request.options.instance_cache = parse_bool(key, value);
+    } else {
+      throw InvalidArgument(
+          "unknown parameter '" + key +
+          "' (known: experiment, sizes, stride, seed, weight_cv, threads, tasks, downtimes, "
+          "quick, instance_cache)");
+    }
+  }
+  if (request.experiment.empty()) {
+    throw InvalidArgument("missing required parameter 'experiment' (see GET /experiments)");
+  }
+  // Same precedence as the CLI: --quick overrides an explicit size grid.
+  if (quick) engine::apply_quick_options(request.options);
+  return request;
+}
+
+// --- Flat JSON bodies --------------------------------------------------
+
+namespace {
+
+/// Cursor over a JSON text; parses just the flat-object subset the run
+/// endpoint documents.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  std::map<std::string, std::string> parse() {
+    std::map<std::string, std::string> params;
+    skip_whitespace();
+    expect('{', "an object");
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return finish(params);
+    }
+    for (;;) {
+      skip_whitespace();
+      const std::string key = parse_string("an object key");
+      skip_whitespace();
+      expect(':', "':' after the key");
+      skip_whitespace();
+      params[key] = parse_scalar_or_array(key);
+      skip_whitespace();
+      const char c = next("',' or '}'");
+      if (c == '}') return finish(params);
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw InvalidArgument("malformed JSON body at byte " + std::to_string(pos_) + ": " + message);
+  }
+
+  std::map<std::string, std::string> finish(std::map<std::string, std::string>& params) {
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after the object");
+    return params;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next(const std::string& expected) {
+    if (pos_ >= text_.size()) fail("unexpected end (wanted " + expected + ")");
+    return text_[pos_++];
+  }
+
+  void expect(char c, const std::string& what) {
+    if (next(what) != c) fail("expected " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string(const std::string& what) {
+    expect('"', what);
+    std::string out;
+    for (;;) {
+      const char c = next("a closing '\"'");
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char escape = next("an escape character");
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: fail("unsupported string escape '\\" + std::string(1, escape) + "'");
+      }
+    }
+  }
+
+  /// A bare number/true/false/null token, returned as raw text.
+  std::string parse_token() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    if (token == "null") return "";
+    return token;
+  }
+
+  std::string parse_scalar() {
+    if (peek() == '"') return parse_string("a string value");
+    if (peek() == '{' || peek() == '[') fail("nested objects/arrays are not supported");
+    return parse_token();
+  }
+
+  std::string parse_scalar_or_array(const std::string& key) {
+    if (peek() != '[') return parse_scalar();
+    ++pos_;  // '['
+    std::string joined;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return joined;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (!joined.empty()) joined += ',';
+      joined += parse_scalar();
+      skip_whitespace();
+      const char c = next("',' or ']' in the '" + key + "' array");
+      if (c == ']') return joined;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json(std::string_view body) {
+  return FlatJsonParser(body).parse();
+}
+
+std::string to_json(const JobStatus& status) {
+  std::string out = "{\"id\":" + std::to_string(status.id) +
+                    ",\"experiment\":" + json_quote(status.experiment) +
+                    ",\"state\":" + json_quote(to_string(status.state)) +
+                    ",\"records\":" + std::to_string(status.records) +
+                    ",\"total_scenarios\":" + std::to_string(status.total_scenarios) +
+                    ",\"records_path\":" + json_quote("/runs/" + std::to_string(status.id) +
+                                                     "/records");
+  if (!status.error.empty()) out += ",\"error\":" + json_quote(status.error);
+  out += '}';
+  return out;
+}
+
+// --- ExperimentService -------------------------------------------------
+
+ExperimentService::ExperimentService(ServiceOptions options,
+                                     const engine::ExperimentRegistry& registry)
+    : registry_(registry), jobs_(registry, options.jobs), http_(options.http) {
+  register_routes();
+}
+
+ExperimentService::~ExperimentService() { stop(); }
+
+void ExperimentService::start() { http_.start(); }
+
+void ExperimentService::stop() {
+  // Jobs first: that wakes blocked record streamers, so the HTTP drain
+  // below finishes promptly instead of waiting out a long run.
+  jobs_.stop();
+  http_.stop();
+}
+
+namespace {
+
+std::optional<std::uint64_t> parse_job_id(const std::string& text) {
+  try {
+    return parse_u64("id", text);
+  } catch (const InvalidArgument&) {
+    return std::nullopt;  // an unparseable id is just an unknown run
+  }
+}
+
+}  // namespace
+
+void ExperimentService::register_routes() {
+  http_.route("GET", "/healthz", [this](const HttpRequest&, HttpResponseWriter& writer) {
+    writer.respond(200, "application/json",
+                   "{\"status\":\"ok\",\"jobs\":" + std::to_string(jobs_.job_count()) + "}\n");
+  });
+
+  http_.route("GET", "/experiments", [this](const HttpRequest&, HttpResponseWriter& writer) {
+    std::string body = "[";
+    bool first = true;
+    for (const engine::Experiment* experiment : registry_.experiments()) {
+      if (!first) body += ',';
+      first = false;
+      body += "{\"name\":" + json_quote(experiment->name) +
+              ",\"summary\":" + json_quote(experiment->summary) + "}";
+    }
+    body += "]\n";
+    writer.respond(200, "application/json", body);
+  });
+
+  http_.route("POST", "/runs", [this](const HttpRequest& request, HttpResponseWriter& writer) {
+    // Body params first, query params on top (query wins on conflict),
+    // so `curl -d '{"experiment":"fig2"}' '/runs?quick=1'` does what it
+    // reads like.
+    std::map<std::string, std::string> params;
+    if (!request.body.empty()) params = parse_flat_json(request.body);
+    for (const auto& [key, value] : request.query_params()) params[key] = value;
+    std::uint64_t id = 0;
+    try {
+      id = jobs_.submit(parse_job_request(params));
+    } catch (const TooManyJobs& e) {
+      writer.respond(429, "application/json", "{\"error\":" + json_quote(e.what()) + "}\n");
+      return;
+    }
+    writer.respond(201, "application/json", to_json(*jobs_.status(id)) + "\n");
+  });
+
+  http_.route("GET", "/runs", [this](const HttpRequest&, HttpResponseWriter& writer) {
+    std::string body = "[";
+    bool first = true;
+    for (const JobStatus& status : jobs_.jobs()) {
+      if (!first) body += ',';
+      first = false;
+      body += to_json(status);
+    }
+    body += "]\n";
+    writer.respond(200, "application/json", body);
+  });
+
+  http_.route("GET", "/runs/{id}", [this](const HttpRequest& request,
+                                          HttpResponseWriter& writer) {
+    const auto id = parse_job_id(request.path_params.at("id"));
+    const auto status = id ? jobs_.status(*id) : std::nullopt;
+    if (!status) {
+      writer.respond(404, "application/json", "{\"error\":\"no such run\"}\n");
+      return;
+    }
+    writer.respond(200, "application/json", to_json(*status) + "\n");
+  });
+
+  http_.route("GET", "/runs/{id}/records", [this](const HttpRequest& request,
+                                                  HttpResponseWriter& writer) {
+    const auto id = parse_job_id(request.path_params.at("id"));
+    if (!id || !jobs_.status(*id)) {
+      writer.respond(404, "application/json", "{\"error\":\"no such run\"}\n");
+      return;
+    }
+    // Live stream: each record is one chunk, so the client sees results
+    // as scenarios complete; the concatenated chunks are byte-identical
+    // to the fpsched_run NDJSON file. A disconnected client makes
+    // write_chunk return false and the stream winds down server-side.
+    if (!writer.begin_chunked(200, "application/x-ndjson")) return;
+    const auto final_status = jobs_.stream_records(
+        *id, [&](std::string_view line) { return writer.write_chunk(line); });
+    // A stream that did not end at a completed job (the job failed, or
+    // the server is shutting down) is truncated data: abandon it without
+    // the clean 0-chunk so the client's HTTP layer flags it, instead of
+    // handing over a well-formed stream that is silently missing records.
+    if (!final_status || final_status->state != JobState::completed) writer.abort_stream();
+  });
+}
+
+}  // namespace fpsched::service

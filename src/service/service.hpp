@@ -1,0 +1,78 @@
+// ExperimentService: the HTTP API over the experiment registry and the
+// JobManager — the serving layer of fpsched_serve.
+//
+// Endpoints (all responses JSON unless noted):
+//   GET  /healthz             liveness: {"status":"ok","jobs":N}
+//   GET  /experiments         the registry listing
+//   POST /runs                submit a run; experiment name + FigureOptions
+//                             from query params and/or a flat JSON body
+//                             (query wins on conflicts); 201 + job status
+//   GET  /runs                every job's status
+//   GET  /runs/{id}           one job's status
+//   GET  /runs/{id}/records   chunked application/x-ndjson stream of the
+//                             job's records, live as scenarios complete;
+//                             the full stream is byte-identical to
+//                             `fpsched_run <name> --format ndjson`
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "engine/experiment.hpp"
+#include "service/http_server.hpp"
+#include "service/job_manager.hpp"
+
+namespace fpsched::service {
+
+/// Request params -> run request. Requires "experiment"; understands the
+/// FigureOptions surface of the CLI: sizes, stride, seed, weight_cv,
+/// threads, tasks, downtimes, quick, instance_cache. Unknown keys are
+/// rejected (a typo must not silently run the default grid). Boolean
+/// values accept 1/0, true/false, yes/no, on/off, and the bare-key form
+/// ("?quick"). Like --quick, quick=1 overrides sizes/stride.
+JobRequest parse_job_request(const std::map<std::string, std::string>& params);
+
+/// Flat JSON object -> params map, for POST /runs bodies: values may be
+/// strings, numbers, booleans, or arrays of scalars (joined with
+/// commas, so "sizes": [50, 100] equals "sizes": "50,100"). Nested
+/// objects are rejected. Throws InvalidArgument on malformed JSON.
+std::map<std::string, std::string> parse_flat_json(std::string_view body);
+
+/// One job status as a JSON object (no trailing newline).
+std::string to_json(const JobStatus& status);
+
+struct ServiceOptions {
+  HttpServerOptions http;
+  JobManager::Options jobs;
+};
+
+class ExperimentService {
+ public:
+  explicit ExperimentService(
+      ServiceOptions options = {},
+      const engine::ExperimentRegistry& registry = engine::ExperimentRegistry::global());
+  ~ExperimentService();
+
+  /// Binds and serves; throws fpsched::Error when the port is taken.
+  void start();
+
+  /// Stops the job executors (after the in-flight job, if any) and the
+  /// HTTP server. Idempotent; the destructor runs it.
+  void stop();
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const { return http_.port(); }
+
+  JobManager& jobs() { return jobs_; }
+
+ private:
+  void register_routes();
+
+  const engine::ExperimentRegistry& registry_;
+  JobManager jobs_;
+  HttpServer http_;
+};
+
+}  // namespace fpsched::service

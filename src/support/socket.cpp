@@ -1,0 +1,115 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace fpsched {
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action {};
+    action.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &action, nullptr);
+  });
+}
+
+std::string errno_message(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) + ")";
+}
+
+void FileDescriptor::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+FileDescriptor listen_on(std::uint16_t port, std::uint16_t* bound_port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Error("socket(): " + errno_message(errno));
+  const int enable = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_ANY);
+  address.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw Error("cannot bind port " + std::to_string(port) + ": " + errno_message(errno));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    throw Error("listen(): " + errno_message(errno));
+  }
+  if (bound_port) {
+    sockaddr_in bound{};
+    socklen_t length = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &length) != 0) {
+      throw Error("getsockname(): " + errno_message(errno));
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+FileDescriptor accept_client(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return FileDescriptor(fd);
+    if (errno == EINTR) continue;
+    return FileDescriptor();
+  }
+}
+
+void set_socket_timeouts(int fd, int seconds) {
+  timeval timeout{};
+  timeout.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET/timeout: the peer is gone
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+long recv_some(int fd, char* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t received = ::recv(fd, buffer, size, 0);
+    if (received >= 0) return static_cast<long>(received);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+FileDescriptor connect_loopback(std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Error("socket(): " + errno_message(errno));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw Error("cannot connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                errno_message(errno));
+  }
+  return fd;
+}
+
+}  // namespace fpsched

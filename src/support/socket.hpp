@@ -1,0 +1,88 @@
+// Thin POSIX socket/errno helpers for the service layer and the
+// pipe-writing drivers.
+//
+// Everything here is blocking-I/O plumbing: an RAII file descriptor, a
+// TCP listener/acceptor pair, and EINTR/EPIPE-aware send/recv wrappers.
+// The one process-global knob is ignore_sigpipe(): a record stream is
+// routinely cut short by its consumer (`fpsched_run ... | head`, a curl
+// client hanging up mid-run), and the default SIGPIPE disposition would
+// kill the process instead of surfacing EPIPE to the writer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fpsched {
+
+/// Installs SIG_IGN for SIGPIPE (idempotent). With the signal ignored, a
+/// write to a closed pipe/socket fails with EPIPE — which send_all and
+/// the stream sinks handle — instead of terminating the process.
+void ignore_sigpipe();
+
+/// strerror(err) plus the number, for exception messages.
+std::string errno_message(int err);
+
+/// RAII wrapper for a POSIX file descriptor (closes on destruction).
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_(fd) {}
+  ~FileDescriptor() { reset(); }
+
+  FileDescriptor(FileDescriptor&& other) noexcept : fd_(other.release()) {}
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking IPv4 TCP listener on all interfaces (SO_REUSEADDR). `port` 0
+/// binds an ephemeral port; `bound_port`, when non-null, receives the
+/// actual port either way. Throws fpsched::Error when the socket cannot
+/// be created or bound (e.g. the port is taken).
+FileDescriptor listen_on(std::uint16_t port, std::uint16_t* bound_port = nullptr);
+
+/// Blocking accept. Returns an invalid descriptor on failure (errno is
+/// preserved for the caller — EINVAL/EBADF after the listener was closed
+/// is the normal shutdown path).
+FileDescriptor accept_client(int listen_fd);
+
+/// Send/receive timeouts (SO_SNDTIMEO/SO_RCVTIMEO) so a wedged peer
+/// cannot pin a connection worker forever.
+void set_socket_timeouts(int fd, int seconds);
+
+/// Writes all of `data`, retrying on EINTR and short writes, with
+/// MSG_NOSIGNAL so a vanished peer yields EPIPE rather than a signal.
+/// Returns false when the peer is gone or the write errored; the caller
+/// should stop writing to this descriptor.
+bool send_all(int fd, std::string_view data);
+
+/// Reads up to `size` bytes. Returns the byte count, 0 on orderly
+/// shutdown, or -1 on error (EINTR is retried internally).
+long recv_some(int fd, char* buffer, std::size_t size);
+
+/// Blocking IPv4 TCP connection to 127.0.0.1:`port` — the loopback
+/// client used by tests and tooling. Throws fpsched::Error on failure.
+FileDescriptor connect_loopback(std::uint16_t port);
+
+}  // namespace fpsched

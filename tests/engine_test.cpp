@@ -253,6 +253,28 @@ TEST(ExperimentEngineTest, ThreadCountDoesNotChangeAnyBit) {
   }
 }
 
+TEST(ExperimentEngineTest, ResultCallbackDeliversEveryResultInInputOrder) {
+  ScenarioGrid grid = small_fig3_grid();
+  grid.sizes = {50, 70};
+  const std::vector<ScenarioSpec> specs = grid.enumerate();
+  for (const std::size_t threads : {1u, 4u}) {
+    const ExperimentEngine engine({.threads = threads});
+    std::vector<double> streamed;  // ratio per delivery, in delivery order
+    const std::vector<ScenarioResult> results =
+        engine.run(specs, [&](std::size_t index, const ScenarioResult& result) {
+          // Strictly ordered: delivery i carries input index i, even
+          // when workers finish out of order.
+          EXPECT_EQ(index, streamed.size());
+          EXPECT_EQ(result.spec.scenario_index, specs[index].scenario_index);
+          streamed.push_back(result.evaluation.ratio);
+        });
+    ASSERT_EQ(streamed.size(), results.size()) << threads << " threads";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(streamed[i], results[i].evaluation.ratio) << threads << " threads";
+    }
+  }
+}
+
 TEST(ExperimentEngineTest, RunHeuristicsMatchesSerialRunner) {
   const TaskGraph graph = serial_instance(WorkflowKind::cybershake, 70, ScenarioGrid{});
   const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));

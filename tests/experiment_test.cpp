@@ -223,6 +223,68 @@ TEST(RunExperimentTest, ShardedNdjsonStreamsConcatenateBitIdentically) {
   }
 }
 
+TEST(RunExperimentTest, DegenerateShardCountsProduceEmptyShardsThatStillConcatenate) {
+  // The tiny experiment has 6 scenarios; sharding 7/9/20 ways leaves
+  // some shards with an empty slice. Those runs must stream nothing
+  // (and not crash), and the concatenation must stay bit-identical.
+  const Experiment experiment = tiny_experiment();
+  const FigureOptions options = tiny_options();
+  const std::string unsharded = run_ndjson(experiment, options, {});
+
+  for (const std::size_t count : {7u, 9u, 20u}) {
+    std::string merged;
+    std::size_t empty_shards = 0;
+    for (std::size_t index = 1; index <= count; ++index) {
+      const std::string shard = run_ndjson(experiment, options, {index, count});
+      if (shard.empty()) ++empty_shards;
+      merged += shard;
+    }
+    EXPECT_GT(empty_shards, 0u) << count << " shards over 6 scenarios";
+    EXPECT_EQ(merged, unsharded) << count << " shards";
+  }
+}
+
+TEST(RunExperimentTest, FlattenPlanMatchesRecordOrder) {
+  const Experiment experiment = tiny_experiment();
+  const FigureOptions options = tiny_options();
+  const std::vector<PlannedScenario> flattened = flatten_plan(experiment.build(options));
+  ASSERT_EQ(flattened.size(), 6u);  // 4 + 2 scenarios
+
+  // The flattened sequence is exactly what run_experiment streams:
+  // panel slugs in panel order, spec.scenario_index grid-local.
+  EXPECT_EQ(flattened[0].panel, "tiny_one");
+  EXPECT_EQ(flattened[3].panel, "tiny_one");
+  EXPECT_EQ(flattened[4].panel, "tiny_two");
+  EXPECT_EQ(flattened[4].spec.scenario_index, 0u);
+  std::ostringstream os;
+  NdjsonSink sink(os);
+  const std::vector<ResultSink*> sinks{&sink};
+  run_experiment(experiment, options, sinks, nullptr);
+  std::istringstream lines(os.str());
+  std::string line;
+  for (const PlannedScenario& planned : flattened) {
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"panel\":\"" + planned.panel + "\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"scenario_index\":" +
+                        std::to_string(planned.spec.scenario_index)),
+              std::string::npos)
+        << line;
+  }
+  EXPECT_FALSE(std::getline(lines, line));  // no extra records
+}
+
+TEST(ExperimentOptionsTest, ApplyQuickShrinksTheGridAndKeepsLargerStrides) {
+  FigureOptions options;
+  options.sizes = {600, 700};
+  options.stride = 1;
+  apply_quick_options(options);
+  EXPECT_EQ(options.sizes, (std::vector<std::size_t>{50, 100, 200, 300}));
+  EXPECT_EQ(options.stride, 4u);
+  options.stride = 16;  // an explicit coarser stride survives quick
+  apply_quick_options(options);
+  EXPECT_EQ(options.stride, 16u);
+}
+
 TEST(RunExperimentTest, ShardedRunsSkipPanelAssembly) {
   const Experiment experiment = tiny_experiment();
   std::ostringstream panels;

@@ -1,0 +1,179 @@
+// HTTP server suite: URL/query decoding, routing (literals, {captures},
+// 404/405), buffered and chunked responses, request bodies, handler
+// error mapping, and client-disconnect behavior on streams.
+#include "service/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "http_test_util.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::service {
+namespace {
+
+using fpsched::testing::dechunk;
+using fpsched::testing::http_body;
+using fpsched::testing::http_exchange;
+using fpsched::testing::http_get;
+using fpsched::testing::http_status;
+
+TEST(UrlDecodeTest, DecodesEscapesAndPlus) {
+  EXPECT_EQ(url_decode("plain"), "plain");
+  EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(url_decode("%2Fruns%3Fx%3D1"), "/runs?x=1");
+  // Malformed escapes pass through untouched rather than throwing — a
+  // bad client should get a 404, not crash parsing.
+  EXPECT_EQ(url_decode("100%"), "100%");
+  EXPECT_EQ(url_decode("%zz"), "%zz");
+}
+
+TEST(ParseQueryTest, SplitsPairsAndBareKeys) {
+  const auto params = parse_query("experiment=fig2&quick&sizes=50%2C100&x=");
+  EXPECT_EQ(params.at("experiment"), "fig2");
+  EXPECT_EQ(params.at("quick"), "");
+  EXPECT_EQ(params.at("sizes"), "50,100");
+  EXPECT_EQ(params.at("x"), "");
+  EXPECT_TRUE(parse_query("").empty());
+}
+
+/// A server with the routes the tests poke at, started on an ephemeral
+/// port.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  HttpServerTest() : server_({.port = 0, .threads = 2}) {
+    server_.route("GET", "/hello", [](const HttpRequest&, HttpResponseWriter& writer) {
+      writer.respond(200, "text/plain", "hi\n");
+    });
+    server_.route("GET", "/items/{id}", [](const HttpRequest& request,
+                                           HttpResponseWriter& writer) {
+      writer.respond(200, "text/plain", "item=" + request.path_params.at("id") + "\n");
+    });
+    server_.route("POST", "/echo", [](const HttpRequest& request, HttpResponseWriter& writer) {
+      writer.respond(200, "text/plain", request.body);
+    });
+    server_.route("GET", "/query", [](const HttpRequest& request, HttpResponseWriter& writer) {
+      writer.respond(200, "text/plain", request.query_params().at("q"));
+    });
+    server_.route("GET", "/throws", [](const HttpRequest&, HttpResponseWriter&) {
+      throw InvalidArgument("bad input");
+    });
+    server_.route("GET", "/silent", [](const HttpRequest&, HttpResponseWriter&) {});
+    server_.route("GET", "/stream", [this](const HttpRequest&, HttpResponseWriter& writer) {
+      writer.begin_chunked(200, "text/plain");
+      writer.write_chunk("one\n");
+      writer.write_chunk("two\n");
+    });
+    server_.route("GET", "/endless", [this](const HttpRequest&, HttpResponseWriter& writer) {
+      // Streams until the client hangs up; the test asserts the handler
+      // actually observes the disconnect instead of spinning forever.
+      writer.begin_chunked(200, "text/plain");
+      std::size_t chunks = 0;
+      while (writer.write_chunk("data data data data data data data data\n")) ++chunks;
+      const std::lock_guard<std::mutex> lock(mutex_);
+      disconnect_seen_ = true;
+      seen_cv_.notify_all();
+    });
+    server_.start();
+  }
+
+  // Declared before server_ so the server (whose handlers touch them)
+  // drains first on destruction.
+  std::mutex mutex_;
+  std::condition_variable seen_cv_;
+  bool disconnect_seen_ = false;
+  HttpServer server_;
+};
+
+TEST_F(HttpServerTest, ServesBufferedResponses) {
+  const std::string response = http_get(server_.port(), "/hello");
+  EXPECT_EQ(http_status(response), 200);
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+  EXPECT_EQ(http_body(response), "hi\n");
+}
+
+TEST_F(HttpServerTest, CapturesPathParams) {
+  EXPECT_EQ(http_body(http_get(server_.port(), "/items/42")), "item=42\n");
+  EXPECT_EQ(http_body(http_get(server_.port(), "/items/a%20b")), "item=a b\n");
+}
+
+TEST_F(HttpServerTest, DecodesQueryParams) {
+  EXPECT_EQ(http_body(http_get(server_.port(), "/query?q=a%2Cb+c")), "a,b c");
+}
+
+TEST_F(HttpServerTest, ReadsRequestBodies) {
+  const std::string response = http_exchange(
+      server_.port(), "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 7\r\n\r\npayload");
+  EXPECT_EQ(http_status(response), 200);
+  EXPECT_EQ(http_body(response), "payload");
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404KnownPathWrongMethodIs405) {
+  EXPECT_EQ(http_status(http_get(server_.port(), "/nope")), 404);
+  const std::string response =
+      http_exchange(server_.port(), "DELETE /hello HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(http_status(response), 405);
+}
+
+TEST_F(HttpServerTest, HandlerExceptionsMapToJsonErrors) {
+  const std::string response = http_get(server_.port(), "/throws");
+  EXPECT_EQ(http_status(response), 400);
+  EXPECT_NE(http_body(response).find("bad input"), std::string::npos);
+  EXPECT_EQ(http_status(http_get(server_.port(), "/silent")), 500);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  EXPECT_EQ(http_status(http_exchange(server_.port(), "NONSENSE\r\n\r\n")), 400);
+}
+
+TEST_F(HttpServerTest, StreamsChunkedResponses) {
+  const std::string response = http_get(server_.port(), "/stream");
+  EXPECT_EQ(http_status(response), 200);
+  EXPECT_NE(response.find("Transfer-Encoding: chunked"), std::string::npos) << response;
+  EXPECT_EQ(dechunk(http_body(response)), "one\ntwo\n");
+}
+
+TEST_F(HttpServerTest, StreamingHandlerObservesClientDisconnect) {
+  {
+    // Read a little of the endless stream, then hang up mid-flight.
+    FileDescriptor fd = connect_loopback(server_.port());
+    ASSERT_TRUE(send_all(fd.get(), "GET /endless HTTP/1.1\r\nHost: t\r\n\r\n"));
+    char buffer[512];
+    ASSERT_GT(recv_some(fd.get(), buffer, sizeof buffer), 0);
+  }  // fd closes here
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool seen = seen_cv_.wait_for(lock, std::chrono::seconds(10),
+                                      [this] { return disconnect_seen_; });
+  EXPECT_TRUE(seen) << "the streaming handler never observed the disconnect";
+}
+
+TEST(HttpServerLifecycleTest, StopIsIdempotentAndRestartForbidden) {
+  HttpServer server({.port = 0, .threads = 1});
+  server.route("GET", "/x", [](const HttpRequest&, HttpResponseWriter& writer) {
+    writer.respond(200, "text/plain", "x");
+  });
+  server.start();
+  EXPECT_NE(server.port(), 0);
+  server.stop();
+  server.stop();  // no-op
+  EXPECT_THROW(server.start(), Error);
+}
+
+TEST(HttpServerLifecycleTest, RejectsRoutesAfterStartAndNullHandlers) {
+  HttpServer server({.port = 0, .threads = 1});
+  EXPECT_THROW(server.route("GET", "/x", nullptr), Error);
+  server.start();
+  EXPECT_THROW(server.route("GET", "/late",
+                            [](const HttpRequest&, HttpResponseWriter&) {}),
+               Error);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace fpsched::service

@@ -1,0 +1,65 @@
+// Raw-socket HTTP helpers for the service tests: a blocking one-shot
+// exchange (the server always closes after one response) plus minimal
+// response splitting and chunked-transfer decoding. Deliberately not a
+// real HTTP client — the tests should exercise the server's actual wire
+// format, not a library's tolerance for deviations from it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+namespace fpsched::testing {
+
+/// Sends `request` verbatim to 127.0.0.1:port and returns everything the
+/// server sends back until it closes the connection.
+inline std::string http_exchange(std::uint16_t port, const std::string& request) {
+  FileDescriptor fd = connect_loopback(port);
+  if (!send_all(fd.get(), request)) throw Error("send failed");
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const long received = recv_some(fd.get(), buffer, sizeof buffer);
+    if (received <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(received));
+  }
+  return response;
+}
+
+/// Convenience GET in the exact shape curl sends.
+inline std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_exchange(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+/// The response body (everything after the header block).
+inline std::string http_body(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+/// The numeric status of the response's status line ("HTTP/1.1 200 OK").
+inline int http_status(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) return -1;
+  return std::stoi(response.substr(9, 3));
+}
+
+/// Reassembles a chunked-transfer body (sizes in hex, 0-chunk ends).
+inline std::string dechunk(const std::string& body) {
+  std::string out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t line_end = body.find("\r\n", pos);
+    if (line_end == std::string::npos) throw Error("truncated chunk size line");
+    const std::size_t size = std::stoul(body.substr(pos, line_end - pos), nullptr, 16);
+    if (size == 0) return out;
+    pos = line_end + 2;
+    if (pos + size + 2 > body.size()) throw Error("truncated chunk");
+    out.append(body, pos, size);
+    pos += size + 2;  // skip the chunk's trailing CRLF
+  }
+}
+
+}  // namespace fpsched::testing

@@ -1,0 +1,299 @@
+// Service-layer suite: request parsing (query params, flat JSON
+// bodies), the JobManager lifecycle, and the headline guarantee over
+// real HTTP — the streamed record bytes of a run equal the NDJSON sink
+// output of run_experiment for the same experiment and options.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/result_sink.hpp"
+#include "http_test_util.hpp"
+#include "support/error.hpp"
+
+namespace fpsched::service {
+namespace {
+
+using fpsched::testing::dechunk;
+using fpsched::testing::http_body;
+using fpsched::testing::http_exchange;
+using fpsched::testing::http_get;
+using fpsched::testing::http_status;
+
+// --- Request parsing ---------------------------------------------------
+
+TEST(ParseJobRequestTest, MapsTheFigureOptionsSurface) {
+  const JobRequest request = parse_job_request({{"experiment", "fig7"},
+                                                {"sizes", "50,100"},
+                                                {"stride", "8"},
+                                                {"seed", "7"},
+                                                {"weight_cv", "0.5"},
+                                                {"threads", "2"},
+                                                {"tasks", "123"},
+                                                {"downtimes", "0,60"},
+                                                {"instance_cache", "false"}});
+  EXPECT_EQ(request.experiment, "fig7");
+  EXPECT_EQ(request.options.sizes, (std::vector<std::size_t>{50, 100}));
+  EXPECT_EQ(request.options.stride, 8u);
+  EXPECT_EQ(request.options.seed, 7u);
+  EXPECT_DOUBLE_EQ(request.options.weight_cv, 0.5);
+  EXPECT_EQ(request.options.threads, 2u);
+  EXPECT_EQ(request.options.tasks, 123u);
+  EXPECT_EQ(request.options.downtimes, (std::vector<double>{0, 60}));
+  EXPECT_FALSE(request.options.instance_cache);
+}
+
+TEST(ParseJobRequestTest, QuickMatchesTheCliShrink) {
+  const JobRequest quick =
+      parse_job_request({{"experiment", "fig2"}, {"quick", "1"}, {"sizes", "600,700"}});
+  engine::FigureOptions expected;
+  engine::apply_quick_options(expected);
+  EXPECT_EQ(quick.options.sizes, expected.sizes);  // quick overrides sizes, as --quick does
+  EXPECT_EQ(quick.options.stride, expected.stride);
+  // The bare-key form curl produces for "?quick".
+  EXPECT_EQ(parse_job_request({{"experiment", "fig2"}, {"quick", ""}}).options.sizes,
+            expected.sizes);
+}
+
+TEST(ParseJobRequestTest, RejectsBadRequests) {
+  EXPECT_THROW(parse_job_request({}), InvalidArgument);                          // no experiment
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"bogus", "1"}}),
+               InvalidArgument);                                                 // unknown key
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"sizes", "0"}}),
+               InvalidArgument);                                                 // size < 1
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"sizes", "50,,100"}}),
+               InvalidArgument);                                                 // empty item
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"stride", "0"}}), InvalidArgument);
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"seed", "-1"}}), InvalidArgument);
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"downtimes", "-5"}}),
+               InvalidArgument);
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"quick", "maybe"}}),
+               InvalidArgument);
+}
+
+TEST(ParseFlatJsonTest, ParsesScalarsAndScalarArrays) {
+  const auto params = parse_flat_json(
+      R"({"experiment": "fig2", "quick": true, "sizes": [50, 100], "weight_cv": 0.3,)"
+      R"( "note": "a\"b", "nothing": null})");
+  EXPECT_EQ(params.at("experiment"), "fig2");
+  EXPECT_EQ(params.at("quick"), "true");
+  EXPECT_EQ(params.at("sizes"), "50,100");
+  EXPECT_EQ(params.at("weight_cv"), "0.3");
+  EXPECT_EQ(params.at("note"), "a\"b");
+  EXPECT_EQ(params.at("nothing"), "");
+  EXPECT_TRUE(parse_flat_json("{}").empty());
+}
+
+TEST(ParseFlatJsonTest, RejectsMalformedAndNestedJson) {
+  for (const std::string bad :
+       {"", "[1]", "{", "{\"a\":}", "{\"a\":1,}", "{\"a\":{\"b\":1}}", "{\"a\":[[1]]}",
+        "{\"a\":1} trailing", "{'a':1}"}) {
+    EXPECT_THROW(parse_flat_json(bad), InvalidArgument) << bad;
+  }
+}
+
+TEST(JobStatusJsonTest, SerializesStateAndError) {
+  JobStatus status;
+  status.id = 3;
+  status.experiment = "fig2";
+  status.state = JobState::failed;
+  status.records = 10;
+  status.total_scenarios = 72;
+  status.error = "boom";
+  const std::string json = to_json(status);
+  EXPECT_EQ(json,
+            "{\"id\":3,\"experiment\":\"fig2\",\"state\":\"failed\",\"records\":10,"
+            "\"total_scenarios\":72,\"records_path\":\"/runs/3/records\",\"error\":\"boom\"}");
+}
+
+// --- JobManager over a tiny registry -----------------------------------
+
+/// The cheap two-policy single-panel experiment the manager tests run.
+engine::ExperimentRegistry tiny_registry() {
+  engine::ExperimentRegistry registry;
+  registry.add({"tiny", "tiny test experiment", [](const engine::FigureOptions& options) {
+                  engine::FigurePlan plan;
+                  plan.heading = "tiny";
+                  engine::ScenarioGrid grid;
+                  grid.workflows = {WorkflowKind::montage};
+                  grid.sizes = options.sizes;
+                  grid.lambdas = {1e-3};
+                  grid.stride = 16;
+                  grid.policies = {
+                      engine::ScenarioPolicy::fixed(
+                          {LinearizeMethod::depth_first, CkptStrategy::by_weight}),
+                      engine::ScenarioPolicy::fixed(
+                          {LinearizeMethod::breadth_first, CkptStrategy::by_cost}),
+                  };
+                  plan.panels = {{grid, "tiny panel", "tiny_panel"}};
+                  return plan;
+                }});
+  return registry;
+}
+
+engine::FigureOptions tiny_options() {
+  engine::FigureOptions options;
+  options.sizes = {50, 60};
+  options.threads = 2;
+  return options;
+}
+
+/// The reference bytes: run_experiment through an NdjsonSink.
+std::string reference_ndjson(const engine::ExperimentRegistry& registry,
+                             const engine::FigureOptions& options) {
+  std::ostringstream os;
+  engine::NdjsonSink sink(os);
+  engine::ResultSink* sinks[] = {&sink};
+  engine::run_experiment(registry.find("tiny"), options, sinks, nullptr);
+  return os.str();
+}
+
+TEST(JobManagerTest, RunsAJobAndStreamsByteIdenticalRecords) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry);
+  const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+
+  std::string streamed;
+  const auto status = manager.stream_records(id, [&](std::string_view line) {
+    streamed.append(line);
+    return true;
+  });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::completed);
+  EXPECT_EQ(status->records, 4u);
+  EXPECT_EQ(status->total_scenarios, 4u);
+  EXPECT_EQ(streamed, reference_ndjson(registry, tiny_options()));
+
+  // A second reader of the finished job sees the same bytes.
+  std::string replay;
+  manager.stream_records(id, [&](std::string_view line) {
+    replay.append(line);
+    return true;
+  });
+  EXPECT_EQ(replay, streamed);
+}
+
+TEST(JobManagerTest, ValidatesAtSubmission) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry);
+  EXPECT_THROW(manager.submit({"unknown", {}}), InvalidArgument);
+  engine::FigureOptions bad = tiny_options();
+  bad.sizes.clear();  // the grid rejects an empty size axis at build time
+  EXPECT_THROW(manager.submit({"tiny", bad}), Error);
+  EXPECT_EQ(manager.job_count(), 0u);  // nothing enqueued
+}
+
+TEST(JobManagerTest, EnforcesMaxJobsAndReportsStatuses) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry, {.max_jobs = 2});
+  const std::uint64_t first = manager.submit({"tiny", tiny_options()});
+  const std::uint64_t second = manager.submit({"tiny", tiny_options()});
+  EXPECT_THROW(manager.submit({"tiny", tiny_options()}), TooManyJobs);
+
+  // Both jobs finish (drain via the blocking stream), retaining status.
+  for (const std::uint64_t id : {first, second}) {
+    const auto status = manager.stream_records(id, [](std::string_view) { return true; });
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::completed);
+  }
+  EXPECT_EQ(manager.jobs().size(), 2u);
+  EXPECT_FALSE(manager.status(99).has_value());
+  EXPECT_FALSE(manager.stream_records(99, [](std::string_view) { return true; }).has_value());
+}
+
+TEST(JobManagerTest, AbortedReaderLeavesTheJobRunning) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry);
+  const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+  // Take one record, then hang up.
+  std::size_t seen = 0;
+  manager.stream_records(id, [&](std::string_view) { return ++seen < 1; });
+  // The job still completes for a later full reader.
+  const auto status = manager.stream_records(id, [](std::string_view) { return true; });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::completed);
+}
+
+// --- The full service over HTTP ----------------------------------------
+
+class ExperimentServiceTest : public ::testing::Test {
+ protected:
+  ExperimentServiceTest()
+      : registry_(tiny_registry()),
+        service_({.http = {.port = 0, .threads = 2}, .jobs = {.max_jobs = 3}}, registry_) {
+    service_.start();
+  }
+
+  std::uint16_t port() { return service_.port(); }
+
+  engine::ExperimentRegistry registry_;
+  ExperimentService service_;
+};
+
+TEST_F(ExperimentServiceTest, HealthAndExperimentListing) {
+  const std::string health = http_get(port(), "/healthz");
+  EXPECT_EQ(http_status(health), 200);
+  EXPECT_NE(http_body(health).find("\"status\":\"ok\""), std::string::npos);
+
+  const std::string listing = http_get(port(), "/experiments");
+  EXPECT_EQ(http_status(listing), 200);
+  EXPECT_EQ(http_body(listing),
+            "[{\"name\":\"tiny\",\"summary\":\"tiny test experiment\"}]\n");
+}
+
+TEST_F(ExperimentServiceTest, SubmittedRunStreamsReferenceBytes) {
+  const std::string post = http_exchange(
+      port(),
+      "POST /runs?experiment=tiny&sizes=50%2C60&threads=2 HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_EQ(http_status(post), 201) << post;
+  EXPECT_NE(http_body(post).find("\"id\":1"), std::string::npos) << post;
+
+  const std::string stream = http_get(port(), "/runs/1/records");
+  ASSERT_EQ(http_status(stream), 200);
+  EXPECT_NE(stream.find("application/x-ndjson"), std::string::npos);
+  EXPECT_EQ(dechunk(http_body(stream)), reference_ndjson(registry_, tiny_options()));
+
+  const std::string status = http_get(port(), "/runs/1");
+  EXPECT_NE(http_body(status).find("\"state\":\"completed\""), std::string::npos) << status;
+  const std::string runs = http_get(port(), "/runs");
+  EXPECT_NE(http_body(runs).find("\"id\":1"), std::string::npos) << runs;
+}
+
+TEST_F(ExperimentServiceTest, AcceptsJsonBodiesWithQueryOverride) {
+  const std::string body = R"({"experiment":"tiny","sizes":[50,60],"threads":1})";
+  const std::string post = http_exchange(
+      port(), "POST /runs?threads=2 HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n"
+              "Content-Length: " +
+                  std::to_string(body.size()) + "\r\n\r\n" + body);
+  ASSERT_EQ(http_status(post), 201) << post;
+  const std::string stream = http_get(port(), "/runs/1/records");
+  EXPECT_EQ(dechunk(http_body(stream)), reference_ndjson(registry_, tiny_options()));
+}
+
+TEST_F(ExperimentServiceTest, ErrorPathsMapToHttpStatuses) {
+  EXPECT_EQ(http_status(http_exchange(
+                port(), "POST /runs?experiment=unknown HTTP/1.1\r\nHost: t\r\n\r\n")),
+            400);
+  EXPECT_EQ(http_status(http_exchange(
+                port(), "POST /runs?experiment=tiny&bogus=1 HTTP/1.1\r\nHost: t\r\n\r\n")),
+            400);
+  EXPECT_EQ(http_status(http_get(port(), "/runs/7")), 404);
+  EXPECT_EQ(http_status(http_get(port(), "/runs/7/records")), 404);
+  EXPECT_EQ(http_status(http_get(port(), "/runs/notanumber")), 404);
+
+  // Fill the 3-job capacity, then expect 429.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(http_status(http_exchange(
+                  port(), "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n")),
+              201);
+  }
+  EXPECT_EQ(http_status(http_exchange(
+                port(), "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n")),
+            429);
+}
+
+}  // namespace
+}  // namespace fpsched::service
