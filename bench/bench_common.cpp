@@ -25,6 +25,11 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   cli.add_option("weight-cv", "0.2", "coefficient of variation of task weights");
   cli.add_option("csv", "", "directory for CSV output (created files: <figure>.csv)");
   cli.add_option("threads", "0", "scenario-shard worker threads (0 = all cores)");
+  cli.add_option("eval-threads", "1",
+                 "intra-evaluation k-block workers for the Theorem-3 evaluator (1 = serial, "
+                 "0 = all cores); takes effect when scenario sharding alone cannot fill the "
+                 "workers (scenarios < --threads, or --threads 1) and is ignored on the "
+                 "scenario-saturated path; output is bit-identical for every value");
   cli.add_flag("no-instance-cache",
                "re-generate and re-linearize the instance for every scenario "
                "(the pre-cache engine path; results are identical)");
@@ -45,6 +50,7 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   // output directory up front (creating it when missing).
   if (!options.csv_dir.empty()) engine::ensure_output_directory(options.csv_dir);
   options.threads = cli.get_count("threads");
+  options.eval_threads = cli.get_count("eval-threads");
   options.instance_cache = !cli.get_flag("no-instance-cache");
   if (cli.has_option("tasks")) options.tasks = cli.get_count("tasks", 1);
   if (cli.has_option("downtimes")) {
@@ -58,8 +64,9 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
 }
 
 engine::ExperimentEngine make_engine(const FigureOptions& options) {
-  return engine::ExperimentEngine(
-      {.threads = options.threads, .instance_cache = options.instance_cache});
+  return engine::ExperimentEngine({.threads = options.threads,
+                                   .instance_cache = options.instance_cache,
+                                   .eval_threads = options.eval_threads});
 }
 
 void run_figure_experiment(std::ostream& os, const engine::Experiment& experiment,

@@ -1,17 +1,38 @@
-// Micro-benchmarks (google-benchmark) for the computational kernels:
-//  * the optimized Theorem-3 evaluator vs the literal O(n^4) Algorithm-1
-//    transcription (the reason the heuristic sweeps are tractable);
-//  * one Monte-Carlo simulation trial;
-//  * a full exhaustive budget sweep;
-//  * DAG linearization.
-#include <benchmark/benchmark.h>
+// Micro-benchmark for the Theorem-3 evaluation hot path, emitting
+// machine-readable JSON so the bench trajectory is tracked across PRs
+// (`BENCH_evaluator.json`: ns/eval by n, strategy and thread count).
+//
+//   $ perf_evaluator --quick
+//   $ perf_evaluator --sizes 100,200,400 --eval-threads 1,2,4,8 --out bench.json
+//
+// Strategies:
+//   serial      the optimized serial fast path (the sweep inner loop)
+//   kblock      the k-blocked parallel evaluation on a shared ThreadPool
+//               (one row per --eval-threads entry > 1)
+//   algorithm1  the literal O(n^4) Algorithm-1 transcription (small n
+//               only — it exists as an executable specification)
+//
+// Dependency-free by design (hand-rolled steady_clock timing, no
+// google-benchmark), so the bench always builds and its JSON is always
+// producible in CI. Every kblock measurement also asserts bit-identity
+// against the serial value — a perf run that silently diverged would be
+// worthless.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/evaluator_naive.hpp"
 #include "dag/linearize.hpp"
-#include "heuristics/heuristic.hpp"
-#include "sim/simulator.hpp"
-#include "support/rng.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/threading.hpp"
 #include "workflows/generator.hpp"
 
 using namespace fpsched;
@@ -32,59 +53,161 @@ struct Fixture {
   }
 };
 
-void BM_EvaluatorOptimized(benchmark::State& state) {
-  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
-  const ScheduleEvaluator evaluator(fixture.graph, fixture.model);
-  EvaluatorWorkspace ws;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.expected_makespan(fixture.schedule, ws, false));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_EvaluatorOptimized)->RangeMultiplier(2)->Range(50, 800)->Complexity();
+struct BenchRow {
+  std::size_t n = 0;
+  std::string strategy;
+  std::size_t threads = 1;
+  double ns_per_eval = 0.0;
+  std::size_t evals = 0;
+  double expected_makespan = 0.0;
+};
 
-void BM_EvaluatorAlgorithm1(benchmark::State& state) {
-  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        evaluate_reference(fixture.graph, fixture.model, fixture.schedule));
-  }
-  state.SetComplexityN(state.range(0));
+/// Calls `eval` repeatedly until `min_time` elapsed (at least once, at
+/// most `max_evals`) and returns mean ns/eval plus the last value.
+template <typename Eval>
+std::pair<double, std::size_t> measure(double min_time_ms, std::size_t max_evals,
+                                       double& value, const Eval& eval) {
+  using clock = std::chrono::steady_clock;
+  value = eval();  // warm-up (touches every scratch buffer once)
+  const clock::time_point start = clock::now();
+  std::size_t evals = 0;
+  double elapsed_ns = 0.0;
+  do {
+    value = eval();
+    ++evals;
+    elapsed_ns = std::chrono::duration<double, std::nano>(clock::now() - start).count();
+  } while (elapsed_ns < min_time_ms * 1e6 && evals < max_evals);
+  return {elapsed_ns / static_cast<double>(evals), evals};
 }
-// The literal transcription is O(n^4)-ish; keep the range small.
-BENCHMARK(BM_EvaluatorAlgorithm1)->RangeMultiplier(2)->Range(50, 200)->Complexity();
 
-void BM_SimulatorTrial(benchmark::State& state) {
-  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
-  const FaultSimulator simulator(fixture.graph, fixture.model, fixture.schedule);
-  Rng rng(99);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(simulator.run(rng).makespan);
-  }
+/// Round-trip precision, with non-finite values quoted ("inf"/"nan") so
+/// the output stays parseable JSON even on failure-dominated fixtures —
+/// same convention as the NDJSON record sink.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "\"" + format_double_full(value) + "\"";
+  return format_double_full(value);
 }
-BENCHMARK(BM_SimulatorTrial)->RangeMultiplier(2)->Range(50, 800);
 
-void BM_ExhaustiveBudgetSweep(benchmark::State& state) {
-  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
-  const ScheduleEvaluator evaluator(fixture.graph, fixture.model);
-  for (auto _ : state) {
-    const HeuristicResult result =
-        run_heuristic(evaluator, {LinearizeMethod::depth_first, CkptStrategy::by_weight});
-    benchmark::DoNotOptimize(result.evaluation.expected_makespan);
+std::string to_json(const std::vector<BenchRow>& rows) {
+  std::string out = "{\"bench\":\"evaluator\",\"fixture\":{\"workflow\":\"cybershake\","
+                    "\"seed\":5,\"lambda\":0.001,\"cost_model\":\"proportional(0.1)\","
+                    "\"linearization\":\"DF\",\"checkpoint_every\":3},\"results\":[";
+  bool first = true;
+  for (const BenchRow& row : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"n\":" + std::to_string(row.n) + ",\"strategy\":\"" + row.strategy +
+           "\",\"threads\":" + std::to_string(row.threads) +
+           ",\"ns_per_eval\":" + json_number(row.ns_per_eval) +
+           ",\"evals\":" + std::to_string(row.evals) +
+           ",\"expected_makespan\":" + json_number(row.expected_makespan) + "}";
   }
+  out += "]}";
+  return out;
 }
-BENCHMARK(BM_ExhaustiveBudgetSweep)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
-
-void BM_Linearize(benchmark::State& state) {
-  const Fixture fixture(static_cast<std::size_t>(state.range(0)));
-  const std::vector<double> weights = fixture.graph.weights();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        linearize(fixture.graph.dag(), weights, LinearizeMethod::depth_first));
-  }
-}
-BENCHMARK(BM_Linearize)->Range(50, 800);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  CliParser cli("perf_evaluator — Theorem-3 evaluation micro-bench, JSON output "
+                "(serial fast path vs k-blocked parallel vs Algorithm 1).");
+  cli.add_option("sizes", "50,100,200,400,800", "task-count grid (CyberShake fixture)");
+  cli.add_option("eval-threads", "1,2,4,8",
+                 "thread counts for the k-blocked strategy (1 entries are skipped — serial "
+                 "is always measured)");
+  cli.add_option("naive-max", "100",
+                 "largest n for the O(n^4) Algorithm-1 reference (0 disables it)");
+  cli.add_option("min-time-ms", "200", "minimum sampling time per measurement");
+  cli.add_option("max-evals", "10000", "hard cap on evaluations per measurement");
+  cli.add_option("out", "BENCH_evaluator.json", "output JSON path (empty = stdout only)");
+  cli.add_flag("quick", "small sizes + short sampling for a smoke run");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    std::vector<std::size_t> sizes;
+    for (const auto s : cli.get_int_list("sizes")) {
+      if (s < 1) throw InvalidArgument("option --sizes: task counts must be >= 1");
+      sizes.push_back(static_cast<std::size_t>(s));
+    }
+    std::vector<std::size_t> thread_grid;
+    for (const auto t : cli.get_int_list("eval-threads")) {
+      if (t < 1) throw InvalidArgument("option --eval-threads: thread counts must be >= 1");
+      if (static_cast<std::size_t>(t) > kMaxPoolThreads) {
+        // Same ceiling the engine applies to CLI/HTTP thread counts: an
+        // absurd value must not exhaust the host's thread limit.
+        throw InvalidArgument("option --eval-threads: thread counts must be <= " +
+                              std::to_string(kMaxPoolThreads));
+      }
+      thread_grid.push_back(static_cast<std::size_t>(t));
+    }
+    std::size_t naive_max = cli.get_count("naive-max");
+    double min_time_ms = cli.get_double("min-time-ms");
+    std::size_t max_evals = cli.get_count("max-evals", 1);
+    if (cli.get_flag("quick")) {
+      sizes = {50, 100};
+      min_time_ms = 20.0;
+      naive_max = std::min<std::size_t>(naive_max, 50);
+    }
+
+    std::vector<BenchRow> rows;
+    for (const std::size_t n : sizes) {
+      const Fixture fixture(n);
+      const ScheduleEvaluator evaluator(fixture.graph, fixture.model);
+      EvaluatorWorkspace ws;
+
+      BenchRow serial{n, "serial", 1, 0.0, 0, 0.0};
+      std::tie(serial.ns_per_eval, serial.evals) =
+          measure(min_time_ms, max_evals, serial.expected_makespan, [&] {
+            return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false);
+          });
+      rows.push_back(serial);
+      std::cerr << "n=" << n << " serial: " << serial.ns_per_eval / 1e3 << " us/eval\n";
+
+      for (const std::size_t threads : thread_grid) {
+        if (threads <= 1) continue;
+        // Pool width threads - 1: the measuring thread helps through the
+        // TaskGroup wait, exactly like an engine worker would.
+        ThreadPool pool(threads - 1);
+        const EvalParallel parallel{threads, &pool};
+        BenchRow row{n, "kblock", threads, 0.0, 0, 0.0};
+        std::tie(row.ns_per_eval, row.evals) =
+            measure(min_time_ms, max_evals, row.expected_makespan, [&] {
+              return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false,
+                                                 parallel);
+            });
+        if (row.expected_makespan != serial.expected_makespan) {
+          throw Error("k-blocked evaluation diverged from the serial path (n=" +
+                      std::to_string(n) + ", threads=" + std::to_string(threads) + ")");
+        }
+        rows.push_back(row);
+        std::cerr << "n=" << n << " kblock x" << threads << ": " << row.ns_per_eval / 1e3
+                  << " us/eval (" << serial.ns_per_eval / row.ns_per_eval << "x)\n";
+      }
+
+      if (naive_max > 0 && n <= naive_max) {
+        BenchRow naive{n, "algorithm1", 1, 0.0, 0, 0.0};
+        std::tie(naive.ns_per_eval, naive.evals) =
+            measure(min_time_ms, /*max_evals=*/5, naive.expected_makespan, [&] {
+              return evaluate_reference(fixture.graph, fixture.model, fixture.schedule);
+            });
+        rows.push_back(naive);
+        std::cerr << "n=" << n << " algorithm1: " << naive.ns_per_eval / 1e3 << " us/eval\n";
+      }
+    }
+
+    const std::string json = to_json(rows);
+    std::cout << json << "\n";
+    const std::string out_path = cli.get_string("out");
+    if (!out_path.empty()) {
+      std::ofstream file(out_path);
+      if (!file.good()) throw InvalidArgument("cannot open " + out_path + " for writing");
+      file << json << "\n";
+      file.flush();
+      if (!file.good()) throw Error("failed writing " + out_path);
+      std::cerr << "wrote " << out_path << "\n";
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

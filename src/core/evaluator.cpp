@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/threading.hpp"
 
 namespace fpsched {
 
@@ -24,6 +25,46 @@ void EvaluatorWorkspace::resize(std::size_t n, std::size_t edges) {
   dfs_stack.reserve(n);
 }
 
+std::vector<std::size_t> eval_block_boundaries(std::size_t n, std::size_t blocks) {
+  blocks = std::max<std::size_t>(1, std::min(blocks, std::max<std::size_t>(n, 1)));
+  std::vector<std::size_t> bounds(blocks + 1, 0);
+  // Pass k's inner loop runs n - k times, so equal-count k ranges would
+  // leave the first block with almost all the work; balance by the
+  // triangular weight instead.
+  const double total = 0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
+  std::size_t k = 0;
+  double cum = 0.0;
+  for (std::size_t b = 1; b < blocks; ++b) {
+    const double target = total * static_cast<double>(b) / static_cast<double>(blocks);
+    while (k < n && cum < target) {
+      cum += static_cast<double>(n - k);
+      ++k;
+    }
+    bounds[b] = k;
+  }
+  bounds[blocks] = n;
+  return bounds;
+}
+
+WorkspacePool::Lease::~Lease() {
+  if (workspace_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(pool_->mutex_);
+    pool_->free_.push_back(std::move(workspace_));
+  }
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<EvaluatorWorkspace> workspace = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(workspace));
+    }
+  }
+  return Lease(this, std::make_unique<EvaluatorWorkspace>());
+}
+
 ScheduleEvaluator::ScheduleEvaluator(const TaskGraph& graph, FailureModel model)
     : graph_(&graph), model_(model) {}
 
@@ -36,7 +77,7 @@ Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule, EvaluatorWorksp
   validate_schedule(*graph_, schedule);
   Evaluation result;
   result.per_task_expected.clear();
-  result.expected_makespan = run(schedule, ws, &result.per_task_expected);
+  result.expected_makespan = run(schedule, ws, &result.per_task_expected, {});
   result.total_weight = graph_->total_weight();
   result.checkpoint_count = schedule.checkpoint_count();
   double fault_free = 0.0;
@@ -50,13 +91,14 @@ Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule, EvaluatorWorksp
 }
 
 double ScheduleEvaluator::expected_makespan(const Schedule& schedule, EvaluatorWorkspace& ws,
-                                            bool validate) const {
+                                            bool validate, const EvalParallel& parallel) const {
   if (validate) validate_schedule(*graph_, schedule);
-  return run(schedule, ws, nullptr);
+  return run(schedule, ws, nullptr, parallel);
 }
 
 double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
-                              std::vector<double>* per_task) const {
+                              std::vector<double>* per_task,
+                              const EvalParallel& parallel) const {
   const std::size_t n = graph_->task_count();
   if (per_task) per_task->assign(n, 0.0);
   if (n == 0) return 0.0;
@@ -103,10 +145,12 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
   // non-checkpointed predecessors. `recovered_at[j] == k` marks tasks that
   // already entered some T|k_l with l <= i (their output is back in
   // memory), which both deduplicates the DFS and implements the exclusion
-  // rule of Definition 1.
-  const auto lost_work = [&](std::size_t i, std::int32_t k) -> double {
+  // rule of Definition 1. The scratch arrays are parameters so parallel
+  // k-blocks can walk with private state.
+  const auto lost_work = [&](std::size_t i, std::int32_t k,
+                             std::vector<std::int32_t>& recovered_at,
+                             std::vector<std::uint32_t>& stack) -> double {
     double lost = 0.0;
-    auto& stack = ws.dfs_stack;
     stack.clear();
     stack.push_back(static_cast<std::uint32_t>(i));
     while (!stack.empty()) {
@@ -115,8 +159,8 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
       for (std::uint32_t e = ws.pred_offsets[node]; e < ws.pred_offsets[node + 1]; ++e) {
         const std::uint32_t j = ws.pred_list[e];
         if (static_cast<std::int32_t>(j) >= k) continue;  // executed after the failure
-        if (ws.recovered_at[j] == k) continue;            // already recovered/re-executed
-        ws.recovered_at[j] = k;
+        if (recovered_at[j] == k) continue;               // already recovered/re-executed
+        recovered_at[j] = k;
         if (ws.flag[j]) {
           lost += ws.recovery[j];  // reload the checkpoint; stop the walk here
         } else {
@@ -153,28 +197,112 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
   }
 
   // --- Passes k = 0..n-1: last failure during X_k. ----------------------
-  for (std::size_t k = 0; k < n; ++k) {
-    // P(Z^{k+1}_k) = 1 - sum over earlier failure positions (property B).
-    const double base =
-        k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
-    double span = 0.0;  // S^i_k = sum_{k<j<i} (L^j_k + w_j + delta_j c_j)
-    for (std::size_t i = k; i < n; ++i) {
-      const double lost = lost_work(i, static_cast<std::int32_t>(k));
-      if (i == k) {
-        ws.self_loss[k] = lost;  // L^k_k, needed by every E[X_k | Z^k_*]
-        continue;
+  const std::size_t eval_threads = std::min(parallel.threads, n);
+  if (eval_threads <= 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      // P(Z^{k+1}_k) = 1 - sum over earlier failure positions (property B).
+      const double base =
+          k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
+      double span = 0.0;  // S^i_k = sum_{k<j<i} (L^j_k + w_j + delta_j c_j)
+      for (std::size_t i = k; i < n; ++i) {
+        const double lost = lost_work(i, static_cast<std::int32_t>(k), ws.recovered_at,
+                                      ws.dfs_stack);
+        if (i == k) {
+          ws.self_loss[k] = lost;  // L^k_k, needed by every E[X_k | Z^k_*]
+          continue;
+        }
+        if (base > 0.0) {
+          const double p = std::exp(-lambda * span) * base;
+          if (p > 0.0) {
+            ws.accum[i] += lost == 0.0
+                               ? p * ws.expm1_wc[i]
+                               : p * std::exp(-lambda * lost) *
+                                     std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
+            ws.sum_prob[i] += p;
+          }
+        }
+        span += lost + ws.work[i] + ws.ckpt[i];
       }
-      if (base > 0.0) {
-        const double p = std::exp(-lambda * span) * base;
-        if (p > 0.0) {
-          ws.accum[i] += lost == 0.0
-                             ? p * ws.expm1_wc[i]
-                             : p * std::exp(-lambda * lost) *
-                                   std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
-          ws.sum_prob[i] += p;
+    }
+  } else {
+    // Parallel k-blocks. Everything a pass computes except the final
+    // accumulation — the lost-work walks, S^i_k, and the exp/expm1
+    // factors — is independent of other passes (base is the only
+    // cross-pass input, and it only scales the accumulation), so phase A
+    // evaluates whole passes concurrently on private scratch.
+    const std::vector<std::size_t> bounds = eval_block_boundaries(n, eval_threads);
+    const std::size_t block_count = bounds.size() - 1;
+    ws.blocks.resize(block_count);
+    const auto run_block = [&](std::size_t bi) {
+      EvaluatorWorkspace::EvalBlockScratch& blk = ws.blocks[bi];
+      blk.k_begin = bounds[bi];
+      blk.k_end = bounds[bi + 1];
+      std::size_t records = 0;
+      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) records += n - 1 - k;
+      blk.q.resize(records);
+      blk.a.resize(records);
+      blk.b.resize(records);
+      blk.recovered_at.assign(n, -1);
+      blk.dfs_stack.clear();
+      blk.dfs_stack.reserve(n);
+      std::size_t r = 0;
+      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) {
+        double span = 0.0;
+        for (std::size_t i = k; i < n; ++i) {
+          const double lost =
+              lost_work(i, static_cast<std::int32_t>(k), blk.recovered_at, blk.dfs_stack);
+          if (i == k) {
+            ws.self_loss[k] = lost;  // disjoint per k: blocks never overlap
+            continue;
+          }
+          const double q = std::exp(-lambda * span);
+          blk.q[r] = q;
+          if (lost == 0.0) {
+            blk.a[r] = -1.0;  // sentinel: combine reuses the memoized expm1_wc[i]
+            blk.b[r] = 0.0;
+          } else if (q > 0.0) {
+            blk.a[r] = std::exp(-lambda * lost);
+            blk.b[r] = std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
+          } else {
+            blk.a[r] = 0.0;  // q == 0 forces p == 0; never read
+            blk.b[r] = 0.0;
+          }
+          ++r;
+          span += lost + ws.work[i] + ws.ckpt[i];
         }
       }
-      span += lost + ws.work[i] + ws.ckpt[i];
+    };
+    if (parallel.pool != nullptr) {
+      TaskGroup group(*parallel.pool);
+      for (std::size_t bi = 0; bi < block_count; ++bi) group.run([&run_block, bi] { run_block(bi); });
+      group.wait();
+    } else {
+      parallel_for(0, block_count, run_block, block_count);
+    }
+
+    // Serial fixed-order combine: replay the contributions in exactly the
+    // serial pass order (k-major, i ascending), so every accum[i] and
+    // sum_prob[i] — and through sum_prob every base — is produced by the
+    // same sequence of floating-point operations as the serial loop
+    // above. Bit-identical for any thread or block count by construction;
+    // no transcendentals left here, so this O(n^2) tail stays cheap.
+    for (std::size_t bi = 0; bi < block_count; ++bi) {
+      const EvaluatorWorkspace::EvalBlockScratch& blk = ws.blocks[bi];
+      std::size_t r = 0;
+      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) {
+        const double base =
+            k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
+        for (std::size_t i = k + 1; i < n; ++i, ++r) {
+          if (base > 0.0) {
+            const double p = blk.q[r] * base;
+            if (p > 0.0) {
+              ws.accum[i] +=
+                  blk.a[r] < 0.0 ? p * ws.expm1_wc[i] : p * blk.a[r] * blk.b[r];
+              ws.sum_prob[i] += p;
+            }
+          }
+        }
+      }
     }
   }
 

@@ -27,9 +27,22 @@
 //
 // The paper-faithful O(n^4) transcription lives in evaluator_naive.hpp and
 // the two are cross-checked on randomized DAGs by the test suite.
+//
+// Intra-evaluation parallelism (EvalParallel): the k-major passes of the
+// double loop are independent of each other *except* for the scalar
+// multiplier P(Z^{k+1}_k), which folds in earlier passes' contributions to
+// sum_prob. The parallel mode therefore splits k into contiguous blocks
+// (balanced by the triangular per-pass cost, see eval_block_boundaries),
+// computes every pass's base-independent factors on private scratch in
+// parallel, and then replays the accumulation serially in exactly the
+// serial pass order — the same sequence of floating-point operations, so
+// the result is bit-identical to the serial fast path for any thread or
+// block count, by construction.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/failure_model.hpp"
@@ -37,6 +50,8 @@
 #include "workflows/task_graph.hpp"
 
 namespace fpsched {
+
+class ThreadPool;
 
 /// Result of evaluating one schedule.
 struct Evaluation {
@@ -54,6 +69,25 @@ struct Evaluation {
   std::vector<double> per_task_expected;
 };
 
+/// How to run the k-major accumulation of one evaluation.
+struct EvalParallel {
+  /// k-block workers; <= 1 keeps the serial fast path. The result is
+  /// bit-identical for every value (see the header comment).
+  std::size_t threads = 1;
+  /// Shared pool to run the blocks on (a TaskGroup per evaluation, safe
+  /// to join from inside another pool task). When null, transient threads
+  /// are spawned per evaluation — fine for benches, expensive inside a
+  /// sweep's inner loop.
+  ThreadPool* pool = nullptr;
+};
+
+/// Contiguous k-block partition of [0, n) into at most `blocks` ranges,
+/// balanced by the triangular per-pass cost (pass k's inner loop runs
+/// n - k times). Returns the boundaries (size blocks' + 1, first 0, last
+/// n); blocks need not divide n and trailing blocks may be empty when
+/// blocks > n. Exposed for the parallel-evaluator tests.
+std::vector<std::size_t> eval_block_boundaries(std::size_t n, std::size_t blocks);
+
 /// Scratch buffers reused across evaluations; one per thread when
 /// evaluating in parallel.
 class EvaluatorWorkspace {
@@ -62,6 +96,23 @@ class EvaluatorWorkspace {
 
  private:
   friend class ScheduleEvaluator;
+
+  /// Private scratch of one k-block of a parallel evaluation: the DFS
+  /// state plus the densely stored base-independent factors of every
+  /// (k, i) pair of the block, in pass order. q = e^{-lambda S^i_k}; for
+  /// L^i_k == 0 the combine reuses the memoized expm1_wc[i] (a < 0 is the
+  /// sentinel), otherwise a = e^{-lambda L^i_k} and
+  /// b = expm1(lambda (L^i_k + w_i + delta_i c_i)).
+  struct EvalBlockScratch {
+    std::size_t k_begin = 0;
+    std::size_t k_end = 0;
+    std::vector<std::int32_t> recovered_at;
+    std::vector<std::uint32_t> dfs_stack;
+    std::vector<double> q;
+    std::vector<double> a;
+    std::vector<double> b;
+  };
+
   std::vector<double> work;        // w by position
   std::vector<double> ckpt;        // delta_i * c_i by position
   std::vector<double> recovery;    // r by position
@@ -75,8 +126,39 @@ class EvaluatorWorkspace {
   std::vector<double> self_loss;         // L^i_i
   std::vector<std::int32_t> recovered_at;
   std::vector<std::uint32_t> dfs_stack;
+  std::vector<EvalBlockScratch> blocks;  // parallel mode only
 
   void resize(std::size_t n, std::size_t edges);
+};
+
+/// Thread-safe free list of evaluator workspaces, for task-parallel
+/// callers whose tasks run on whichever pool worker is idle (so a fixed
+/// per-worker workspace array cannot be indexed). acquire() pops a free
+/// workspace or creates one; the Lease returns it on destruction. A
+/// workspace is only ever leased to one task at a time, so the usual
+/// exclusive-use contract of EvaluatorWorkspace holds.
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<EvaluatorWorkspace> workspace)
+        : pool_(pool), workspace_(std::move(workspace)) {}
+    ~Lease();
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    EvaluatorWorkspace& get() { return *workspace_; }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<EvaluatorWorkspace> workspace_;
+  };
+
+  Lease acquire();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<EvaluatorWorkspace>> free_;
 };
 
 /// Evaluates schedules for one (task graph, failure model) pair. The
@@ -95,12 +177,14 @@ class ScheduleEvaluator {
 
   /// Fast path returning only E[makespan]; used by the heuristic sweeps.
   /// `validate` can be disabled when the caller constructed the schedule
-  /// from a known-valid linearization.
+  /// from a known-valid linearization. `parallel` opts into the k-blocked
+  /// evaluation (bit-identical to the serial path for any thread count).
   double expected_makespan(const Schedule& schedule, EvaluatorWorkspace& ws,
-                           bool validate = true) const;
+                           bool validate = true, const EvalParallel& parallel = {}) const;
 
  private:
-  double run(const Schedule& schedule, EvaluatorWorkspace& ws, std::vector<double>* per_task) const;
+  double run(const Schedule& schedule, EvaluatorWorkspace& ws, std::vector<double>* per_task,
+             const EvalParallel& parallel) const;
 
   const TaskGraph* graph_;
   FailureModel model_;

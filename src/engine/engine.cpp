@@ -11,14 +11,35 @@
 
 namespace fpsched::engine {
 
-ExperimentEngine::ExperimentEngine(EngineOptions options)
-    : threads_(options.threads == 0 ? default_thread_count()
-                                    : std::max<std::size_t>(options.threads, 1)),
-      instance_cache_(options.instance_cache) {}
+namespace {
 
-HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace) const {
+/// Thread counts come straight from CLI flags and HTTP query parameters;
+/// clamp them to the shared kMaxPoolThreads ceiling.
+std::size_t resolve_workers(std::size_t requested) {
+  const std::size_t resolved = requested == 0 ? default_thread_count() : requested;
+  return std::clamp<std::size_t>(resolved, 1, kMaxPoolThreads);
+}
+
+}  // namespace
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : threads_(resolve_workers(options.threads)),
+      instance_cache_(options.instance_cache),
+      eval_threads_(resolve_workers(options.eval_threads)) {}
+
+HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace,
+                                                  const PoolToken& token) const {
   HeuristicOptions options;
-  options.sweep.threads = inner_threads();
+  if (token.pool != nullptr) {
+    // Nested mode: budget candidates and k-blocks go to the shared pool;
+    // the workspace still serves the sweep's serial bits (non-budgeted
+    // strategies, single-candidate paths).
+    options.sweep.pool = token.pool;
+    options.sweep.eval = {token.eval_threads, token.pool};
+    options.sweep.threads = 1;
+  } else {
+    options.sweep.threads = inner_threads();
+  }
   options.sweep.workspace = &workspace;  // honored whenever the sweep is serial
   return options;
 }
@@ -65,9 +86,9 @@ ScenarioResult execute_policy(const ScenarioSpec& spec, RunFn&& run_one) {
 }
 
 HeuristicOptions scenario_options(const ExperimentEngine& engine, const ScenarioSpec& spec,
-                                  EvaluatorWorkspace& workspace) {
+                                  EvaluatorWorkspace& workspace, const PoolToken& token) {
   ensure(spec.stride >= 1, "scenario stride must be >= 1 (" + spec.label() + ")");
-  HeuristicOptions options = engine.worker_options(workspace);
+  HeuristicOptions options = engine.worker_options(workspace, token);
   options.linearize = spec.linearize;
   options.sweep.stride = spec.stride;
   return options;
@@ -76,22 +97,23 @@ HeuristicOptions scenario_options(const ExperimentEngine& engine, const Scenario
 }  // namespace
 
 ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
-                                              EvaluatorWorkspace& workspace) const {
+                                              EvaluatorWorkspace& workspace,
+                                              const PoolToken& token) const {
   const TaskGraph graph = spec.instantiate();
   const ScheduleEvaluator evaluator(graph, spec.model);
-  const HeuristicOptions options = scenario_options(*this, spec, workspace);
+  const HeuristicOptions options = scenario_options(*this, spec, workspace, token);
   return execute_policy(spec, [&](const HeuristicSpec& heuristic) {
     return run_heuristic(evaluator, heuristic, options);
   });
 }
 
-ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
-                                              InstanceCache& cache) const {
+ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec, InstanceCache& cache,
+                                              const PoolToken& token) const {
   ensure(cache.key() == InstanceKey::of(spec),
          "instance cache does not match the scenario (" + spec.label() + ")");
   const TaskGraph& graph = cache.graph_for(spec.cost_model);
   const ScheduleEvaluator evaluator(graph, spec.model);
-  const HeuristicOptions options = scenario_options(*this, spec, cache.workspace());
+  const HeuristicOptions options = scenario_options(*this, spec, cache.workspace(), token);
   return execute_policy(spec, [&](const HeuristicSpec& heuristic) {
     return run_heuristic(evaluator, heuristic, cache.order(heuristic.linearization), options);
   });
@@ -157,6 +179,48 @@ std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> 
                                                   const ResultCallback& on_result) const {
   std::vector<ScenarioResult> results(specs.size());
   OrderedEmitter emitter(on_result, results);
+
+  // Nested scheduling: with fewer scenarios than workers (or a serial
+  // engine that was given eval-threads), scenario sharding alone would
+  // leave workers idle. One shared pool runs scenario tasks, stolen
+  // budget-sweep tasks and k-blocks side by side; the calling thread
+  // participates through the groups' cooperative waits, so the pool needs
+  // width - 1 workers. Every task writes only slot-owned state and each
+  // evaluation recombines in serial pass order, so the records are
+  // bit-identical to the serial and scenario-parallel paths.
+  const bool nested = threads_ > 1 && !specs.empty() && specs.size() < threads_;
+  const bool eval_boost = threads_ <= 1 && eval_threads_ > 1 && !specs.empty();
+  if (nested || eval_boost) {
+    const std::size_t width = nested ? threads_ : eval_threads_;
+    ThreadPool pool(width - 1);
+    const PoolToken token{&pool, eval_threads_};
+    const auto run_one = [&](std::size_t index) {
+      // Scenario tasks run on arbitrary threads here, so each owns its
+      // instance materialization outright instead of sharing a per-worker
+      // memo; with scenarios < workers the lost reuse is bounded by the
+      // worker count (and results do not depend on the cache either way).
+      const ScenarioSpec& spec = specs[index];
+      if (instance_cache_) {
+        InstanceCache cache(spec);
+        results[index] = run_scenario(spec, cache, token);
+      } else {
+        EvaluatorWorkspace workspace;
+        results[index] = run_scenario(spec, workspace, token);
+      }
+      emitter.complete(index);
+    };
+    if (nested) {
+      TaskGroup scenarios(pool);
+      for (std::size_t index = 0; index < specs.size(); ++index) {
+        scenarios.run([&run_one, index] { run_one(index); });
+      }
+      scenarios.wait();
+    } else {
+      for (std::size_t index = 0; index < specs.size(); ++index) run_one(index);
+    }
+    return results;
+  }
+
   if (!instance_cache_) {
     for_each(specs.size(), [&](std::size_t index, EvaluatorWorkspace& workspace) {
       results[index] = run_scenario(specs[index], workspace);

@@ -8,6 +8,19 @@
 // scenario. Every scenario's result depends only on its ScenarioSpec
 // (instance seeds and RNG streams are part of the spec), so results are
 // bit-for-bit identical regardless of the thread count.
+//
+// Nested scheduling: scenario-granularity sharding alone caps the speedup
+// at the number of scenarios, so whenever the slice has fewer scenarios
+// than workers, run() switches to one shared ThreadPool for the whole
+// run and hands every scenario worker a PoolToken. The worker's inner
+// budget sweep then submits each candidate as a task on the same pool
+// (and, with eval_threads > 1, each evaluation additionally splits its
+// Theorem-3 k-blocks onto it), so idle scenario workers steal work from
+// in-flight scenarios instead of parking. When scenarios >= workers the
+// engine keeps today's scenario-parallel path. Both paths — and every
+// thread-count / eval-thread combination — produce bit-identical results:
+// every task writes only slot-owned state and the k-block evaluator
+// recombines in serial pass order.
 #pragma once
 
 #include <cstddef>
@@ -24,7 +37,10 @@ namespace fpsched::engine {
 
 struct EngineOptions {
   /// Worker threads for scenario sharding. 0 = default_thread_count()
-  /// (honors FPSCHED_THREADS); 1 = serial.
+  /// (honors FPSCHED_THREADS); 1 = serial. Clamped to a hard ceiling of
+  /// 256 real OS threads — thread counts arrive from CLI flags and HTTP
+  /// query parameters, and an absurd request must degrade to "as wide as
+  /// is useful", not exhaust the host's thread limit.
   std::size_t threads = 0;
   /// Share one materialized instance (TaskGraph + memoized linearizations
   /// + workspace) across all scenarios with equal InstanceKeys: each
@@ -35,6 +51,21 @@ struct EngineOptions {
   /// --no-instance-cache escape hatch of the benches) restores the
   /// cache-free path, which the equivalence tests compare against.
   bool instance_cache = true;
+  /// Intra-evaluation k-block workers for the Theorem-3 evaluator (CLI:
+  /// --eval-threads). 1 (default) keeps every evaluation serial; 0 = all
+  /// cores. Takes effect in nested mode (scenarios < workers) and with a
+  /// serial engine (threads == 1), where scenario sharding alone cannot
+  /// fill the machine; the scenario-saturated path ignores it. Results
+  /// are bit-identical for every value.
+  std::size_t eval_threads = 1;
+};
+
+/// Shared-pool token handed to workers in nested mode: the inner budget
+/// sweep submits its candidates to `pool`, and each candidate evaluation
+/// splits into `eval_threads` k-blocks on the same pool.
+struct PoolToken {
+  ThreadPool* pool = nullptr;
+  std::size_t eval_threads = 1;
 };
 
 /// Outcome of one scenario.
@@ -65,8 +96,10 @@ class ExperimentEngine {
   /// Heuristic options for code running inside one of this engine's
   /// workers: inner sweep threads from inner_threads(), reusing the
   /// worker's workspace when serial. Callers layer their stride /
-  /// linearization on top.
-  HeuristicOptions worker_options(EvaluatorWorkspace& workspace) const;
+  /// linearization on top. With an active `token` (nested mode) the sweep
+  /// gets the shared pool and eval-thread width instead.
+  HeuristicOptions worker_options(EvaluatorWorkspace& workspace,
+                                  const PoolToken& token = {}) const;
 
   /// Streaming hook for run(): called once per scenario with its input
   /// index and result. Deliveries are serialized and strictly ordered —
@@ -104,16 +137,22 @@ class ExperimentEngine {
 
   /// Runs one scenario on the given workspace (the cache-disabled worker
   /// path: the instance is generated and linearized from scratch).
-  ScenarioResult run_scenario(const ScenarioSpec& spec, EvaluatorWorkspace& workspace) const;
+  ScenarioResult run_scenario(const ScenarioSpec& spec, EvaluatorWorkspace& workspace,
+                              const PoolToken& token = {}) const;
 
   /// Runs one scenario against a materialized instance. `cache.key()` must
   /// equal InstanceKey::of(spec); the graph/linearizations are replayed
   /// from the cache, bit-identical to the workspace overload.
-  ScenarioResult run_scenario(const ScenarioSpec& spec, InstanceCache& cache) const;
+  ScenarioResult run_scenario(const ScenarioSpec& spec, InstanceCache& cache,
+                              const PoolToken& token = {}) const;
+
+  /// Resolved EngineOptions::eval_threads (>= 1).
+  std::size_t eval_threads() const { return eval_threads_; }
 
  private:
   std::size_t threads_;
   bool instance_cache_;
+  std::size_t eval_threads_;
 };
 
 }  // namespace fpsched::engine

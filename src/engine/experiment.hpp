@@ -35,6 +35,11 @@ struct FigureOptions {
   double weight_cv = 0.2;
   std::string csv_dir;       // empty = no CSV output
   std::size_t threads = 0;   // scenario-shard workers; 0 = all cores
+  /// Intra-evaluation k-block workers for the Theorem-3 evaluator
+  /// (--eval-threads / eval_threads query param). 1 = serial evaluations
+  /// (default), 0 = all cores; kicks in when scenario sharding alone
+  /// cannot fill the workers. Output is bit-identical for every value.
+  std::size_t eval_threads = 1;
   /// Share materialized instances across the scenarios of a figure
   /// (--no-instance-cache disables it; results are identical either way).
   bool instance_cache = true;

@@ -30,7 +30,7 @@ SweepResult sweep_checkpoint_budget(const ScheduleEvaluator& evaluator,
   if (!is_budgeted(strategy)) {
     Schedule schedule = make_heuristic_schedule(graph, order, strategy, 0);
     result.best_expected_makespan =
-        evaluator.expected_makespan(schedule, serial_ws, /*validate=*/false);
+        evaluator.expected_makespan(schedule, serial_ws, /*validate=*/false, options.eval);
     result.best_budget = schedule.checkpoint_count();
     result.curve.push_back(
         {result.best_budget, schedule.checkpoint_count(), result.best_expected_makespan});
@@ -55,11 +55,27 @@ SweepResult sweep_checkpoint_budget(const ScheduleEvaluator& evaluator,
       options.threads == 0 ? default_thread_count() : options.threads;
   const auto evaluate_budget = [&](std::size_t idx, EvaluatorWorkspace& ws) {
     Schedule schedule = make_heuristic_schedule(graph, order, strategy, budgets[idx]);
-    const double expected = evaluator.expected_makespan(schedule, ws, /*validate=*/false);
+    const double expected =
+        evaluator.expected_makespan(schedule, ws, /*validate=*/false, options.eval);
     points[idx] = {budgets[idx], schedule.checkpoint_count(), expected};
     schedules[idx] = std::move(schedule);
   };
-  if (worker_count <= 1) {
+  if (options.pool != nullptr) {
+    // Shared-pool token: one task per budget, executed by whichever pool
+    // worker (or this thread, via the cooperative wait) is idle. Tasks run
+    // on arbitrary threads, so workspaces come from a free list instead of
+    // a per-worker array; every candidate still writes only its own slot,
+    // so any interleaving yields the same bits.
+    WorkspacePool workspaces;
+    TaskGroup group(*options.pool);
+    for (std::size_t idx = 0; idx < budgets.size(); ++idx) {
+      group.run([&, idx] {
+        WorkspacePool::Lease lease = workspaces.acquire();
+        evaluate_budget(idx, lease.get());
+      });
+    }
+    group.wait();
+  } else if (worker_count <= 1) {
     for (std::size_t idx = 0; idx < budgets.size(); ++idx) evaluate_budget(idx, serial_ws);
   } else {
     std::vector<EvaluatorWorkspace> workspaces(worker_count);

@@ -91,6 +91,8 @@ JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
       request.options.weight_cv = parse_number(key, value);
     } else if (key == "threads") {
       request.options.threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "eval_threads") {
+      request.options.eval_threads = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "tasks") {
       const std::uint64_t tasks = parse_u64(key, value);
       if (tasks < 1) bad_value(key, value, "a task count >= 1");
@@ -109,8 +111,8 @@ JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
     } else {
       throw InvalidArgument(
           "unknown parameter '" + key +
-          "' (known: experiment, sizes, stride, seed, weight_cv, threads, tasks, downtimes, "
-          "quick, instance_cache)");
+          "' (known: experiment, sizes, stride, seed, weight_cv, threads, eval_threads, tasks, "
+          "downtimes, quick, instance_cache)");
     }
   }
   if (request.experiment.empty()) {

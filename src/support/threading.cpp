@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -12,8 +13,20 @@ namespace fpsched {
 ThreadPool::ThreadPool(std::size_t num_threads) {
   ensure(num_threads >= 1, "thread pool needs at least one worker");
   workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed spawn (system thread limit) must not leave joinable
+    // threads behind — their destructor would terminate the process.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
   }
 }
 
@@ -32,23 +45,105 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ensure(!stopping_, "submit on a stopping pool");
-    queue_.push_back(std::move(packaged));
+    queue_.push_back({std::move(packaged), nullptr});
   }
   cv_.notify_one();
   return future;
 }
 
+void ThreadPool::enqueue_ticket(std::shared_ptr<GroupState> group) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ensure(!stopping_, "TaskGroup::run on a stopping pool");
+    queue_.push_back({{}, std::move(group)});
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::GroupState::run_one() {
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    task = std::move(tasks.front());
+    tasks.pop_front();
+  }
+  try {
+    task();
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::current_exception();
+  }
+  finish_one();
+  return true;
+}
+
+void ThreadPool::GroupState::finish_one() {
+  bool last = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    last = --outstanding == 0;
+  }
+  if (last) done.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions are captured in the packaged_task's future
+    if (item.group) {
+      // Stale tickets (the waiter already ran the task itself) are
+      // dropped by run_one returning false.
+      item.group->run_one();
+    } else {
+      item.task();  // exceptions are captured in the packaged_task's future
+    }
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(&pool), state_(std::make_shared<ThreadPool::GroupState>()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destruction must not throw; call wait() explicitly to observe task
+    // exceptions.
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->tasks.push_back(std::move(task));
+    ++state_->outstanding;
+  }
+  pool_->enqueue_ticket(state_);
+}
+
+void TaskGroup::wait() {
+  // Help first: drain this group's queued tasks on the calling thread.
+  // Only when every remaining task is running on some other thread does
+  // the wait actually block — which is what makes joining from inside a
+  // pool worker safe (the worker never parks while its own work is
+  // claimable).
+  while (state_->run_one()) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done.wait(lock, [&] { return state_->outstanding == 0; });
+    if (state_->error) {
+      std::exception_ptr error = std::exchange(state_->error, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
   }
 }
 

@@ -1,10 +1,20 @@
-// Shared-memory parallelism helpers: a fixed thread pool and parallel_for.
+// Shared-memory parallelism helpers: a fixed thread pool, nested task
+// groups, and parallel_for.
 //
 // The heuristics' exhaustive N-sweeps and the Monte-Carlo trial runner are
 // embarrassingly parallel; we follow the "think in tasks, not threads"
 // guideline: callers submit index ranges, workers own private scratch
 // space, and results are written to disjoint slots so no locking is needed
 // on the hot path.
+//
+// TaskGroup extends the pool with *nested* parallelism: a task already
+// running on a pool worker can fan out subtasks onto the same pool and
+// join them without deadlock, because wait() helps — it executes the
+// group's own queued tasks on the calling thread and only blocks when
+// every remaining task of the group is being executed by another thread.
+// Idle pool workers pull queued group tasks exactly like plain submitted
+// tasks, which is what lets an idle scenario worker steal budget-sweep or
+// k-block tasks from an in-flight scenario.
 #pragma once
 
 #include <condition_variable>
@@ -12,11 +22,20 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace fpsched {
+
+/// Hard ceiling on real OS threads a single component should spawn from a
+/// user-supplied count (CLI flag, HTTP query parameter): beyond a few
+/// hundred workers there is no hardware left to fill, only scheduler
+/// pressure — and an unbounded `threads=10^9` request must degrade to
+/// "as wide as is useful", not exhaust the host's thread limit. Shared by
+/// the experiment engine's worker resolution and the perf bench.
+inline constexpr std::size_t kMaxPoolThreads = 256;
 
 /// A fixed-size pool of worker threads consuming a FIFO of tasks.
 class ThreadPool {
@@ -35,13 +54,70 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
  private:
+  friend class TaskGroup;
+
+  /// Shared state of one TaskGroup. The pool queue holds shared_ptr
+  /// tickets to it: a ticket popped after the group's waiter already
+  /// executed the task itself is simply stale and dropped, so tickets can
+  /// safely outlive the TaskGroup object.
+  struct GroupState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::deque<std::function<void()>> tasks;  // submitted, not yet claimed
+    std::size_t outstanding = 0;              // queued + currently running
+    std::exception_ptr error;                 // first task exception
+
+    /// Claims and runs one queued task (helper for workers and waiters).
+    /// Returns false when no task was queued.
+    bool run_one();
+    void finish_one();
+  };
+
+  /// One queue entry: a plain submitted task or a group ticket.
+  struct Item {
+    std::packaged_task<void()> task;
+    std::shared_ptr<GroupState> group;
+  };
+
+  void enqueue_ticket(std::shared_ptr<GroupState> group);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Item> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// A batch of subtasks executed on a shared ThreadPool and joined with a
+/// cooperative wait. Single owner: only the constructing thread may call
+/// run()/wait(). Tasks must not call run() on their own group, but they
+/// may create *their own* TaskGroups on the same pool — wait() helps with
+/// the calling group's tasks only, so nesting (scenario -> budget sweep ->
+/// k-blocks) is deadlock-free by induction: a waiter can always execute
+/// its group's queued tasks itself, and the tasks it waits on only ever
+/// wait on deeper groups.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool);
+  /// Joins outstanding tasks (exceptions are swallowed; call wait() to
+  /// observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task onto the shared pool.
+  void run(std::function<void()> task);
+
+  /// Runs queued tasks of this group on the calling thread until every
+  /// task completed (blocking only while the leftovers run on other
+  /// threads). Rethrows the first exception any task raised.
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::shared_ptr<ThreadPool::GroupState> state_;
 };
 
 /// Runs body(i) for every i in [begin, end) across up to `num_threads`

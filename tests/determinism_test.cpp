@@ -1,0 +1,137 @@
+// Determinism audit: the NDJSON record stream of a registered experiment
+// must be byte-identical across every thread-count / eval-thread / cache
+// combination, including the FPSCHED_THREADS environment default. This
+// promotes the CI `cmp` legs into tier-1: a nondeterministic scheduler or
+// a reassociated reduction fails here, with no CI round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "engine/experiment.hpp"
+#include "engine/result_sink.hpp"
+#include "support/env.hpp"
+
+namespace fpsched::engine {
+namespace {
+
+/// The full fpsched_run-style NDJSON output of `name` under `options`,
+/// produced in-process.
+std::string run_ndjson(const std::string& name, const FigureOptions& options,
+                       const ShardSpec& shard = {}) {
+  std::ostringstream out;
+  NdjsonSink sink(out);
+  ResultSink* sinks[] = {&sink};
+  run_experiment(ExperimentRegistry::global().find(name), options, sinks, nullptr, shard);
+  return out.str();
+}
+
+/// Quick fig2 grid shrunk further (two sizes, strided sweep) so the audit
+/// re-runs the experiment several times in tier-1 time.
+FigureOptions audit_options() {
+  FigureOptions options;
+  apply_quick_options(options);
+  options.sizes = {50, 100};
+  options.stride = 8;
+  return options;
+}
+
+/// RAII override of an environment variable.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name), saved_(env_string(name)) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(DeterminismAudit, Fig2BytesInvariantAcrossThreadCombinations) {
+  const FigureOptions baseline = audit_options();
+  const std::string serial = [&] {
+    FigureOptions options = baseline;
+    options.threads = 1;
+    return run_ndjson("fig2", options);
+  }();
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.back(), '\n');
+
+  const struct {
+    std::size_t threads;
+    std::size_t eval_threads;
+    bool instance_cache;
+  } combos[] = {
+      {4, 1, true},   // scenario-parallel
+      {4, 1, false},  // ... without the instance cache
+      {1, 4, true},   // serial engine, k-blocked evaluations
+      {64, 3, true},  // nested: scenarios < workers, budgets + k-blocks stolen
+      {64, 1, false},
+  };
+  for (const auto& combo : combos) {
+    FigureOptions options = baseline;
+    options.threads = combo.threads;
+    options.eval_threads = combo.eval_threads;
+    options.instance_cache = combo.instance_cache;
+    EXPECT_EQ(serial, run_ndjson("fig2", options))
+        << "threads=" << combo.threads << " eval_threads=" << combo.eval_threads
+        << " cache=" << combo.instance_cache;
+  }
+}
+
+TEST(DeterminismAudit, HonorsFpschedThreadsEnvDefault) {
+  const FigureOptions baseline = audit_options();
+  FigureOptions serial_options = baseline;
+  serial_options.threads = 1;
+  const std::string serial = run_ndjson("fig2", serial_options);
+  for (const char* threads : {"5", "64"}) {
+    const ScopedEnv env("FPSCHED_THREADS", threads);
+    FigureOptions options = baseline;  // threads = 0: resolve from the environment
+    EXPECT_EQ(serial, run_ndjson("fig2", options)) << "FPSCHED_THREADS=" << threads;
+  }
+}
+
+TEST(DeterminismAudit, ShardsConcatenateUnderNestedScheduling) {
+  // Process sharding composed with nested scheduling: each shard's slice
+  // has few scenarios, so a wide engine goes nested inside every shard —
+  // the concatenated shard streams must still equal the unsharded bytes.
+  const FigureOptions baseline = audit_options();
+  FigureOptions serial_options = baseline;
+  serial_options.threads = 1;
+  const std::string serial = run_ndjson("fig2", serial_options);
+  FigureOptions wide = baseline;
+  wide.threads = 32;
+  wide.eval_threads = 2;
+  std::string merged;
+  const std::size_t shards = 3;
+  for (std::size_t index = 1; index <= shards; ++index) {
+    merged += run_ndjson("fig2", wide, {index, shards});
+  }
+  EXPECT_EQ(serial, merged);
+}
+
+TEST(DeterminismAudit, Fig7SweepExperimentIsInvariantToo) {
+  // A lambda-axis experiment with best-linearization policies (the other
+  // record shape CI used to cmp).
+  FigureOptions options = audit_options();
+  options.tasks = 60;
+  options.threads = 1;
+  const std::string serial = run_ndjson("fig7", options);
+  ASSERT_FALSE(serial.empty());
+  options.threads = 64;
+  options.eval_threads = 2;
+  EXPECT_EQ(serial, run_ndjson("fig7", options));
+}
+
+}  // namespace
+}  // namespace fpsched::engine

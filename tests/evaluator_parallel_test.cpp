@@ -1,0 +1,203 @@
+// The k-blocked parallel Theorem-3 evaluator must be BIT-identical to the
+// serial fast path (the combine replays the exact serial floating-point
+// operation sequence) for every thread count and block partition, and both
+// must agree with the literal Algorithm-1 transcription on randomized
+// DAGs. Exercised with and without a shared ThreadPool, including odd
+// block boundaries (n not divisible by the block count).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/evaluator_naive.hpp"
+#include "dag/linearize.hpp"
+#include "support/rng.hpp"
+#include "support/threading.hpp"
+#include "test_util.hpp"
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+using testing::assert_rel_near;
+
+Schedule random_schedule(const TaskGraph& graph, Rng& rng, double ckpt_probability) {
+  const std::vector<double> weights = graph.weights();
+  Schedule schedule = make_schedule(
+      linearize(graph.dag(), weights, LinearizeMethod::random_first, {.seed = rng()}));
+  for (VertexId v = 0; v < graph.task_count(); ++v)
+    schedule.checkpointed[v] = rng.bernoulli(ckpt_probability) ? 1 : 0;
+  return schedule;
+}
+
+/// Serial fast-path value and the parallel value for every thread count in
+/// `eval_threads`, via transient threads and via a shared pool — all must
+/// be the same bits.
+void expect_bit_identical(const TaskGraph& graph, const FailureModel& model,
+                          const Schedule& schedule,
+                          const std::vector<std::size_t>& eval_threads = {2, 4, 7}) {
+  const ScheduleEvaluator evaluator(graph, model);
+  EvaluatorWorkspace serial_ws;
+  const double serial = evaluator.expected_makespan(schedule, serial_ws);
+  ThreadPool pool(3);
+  for (const std::size_t threads : eval_threads) {
+    EvaluatorWorkspace ws;
+    const double transient =
+        evaluator.expected_makespan(schedule, ws, true, {.threads = threads});
+    EXPECT_EQ(serial, transient) << "eval-threads " << threads << " (transient)";
+    const double pooled =
+        evaluator.expected_makespan(schedule, ws, true, {.threads = threads, .pool = &pool});
+    EXPECT_EQ(serial, pooled) << "eval-threads " << threads << " (pooled)";
+  }
+}
+
+TEST(EvaluatorParallel, BlockBoundariesTileTheRange) {
+  for (const std::size_t n : {1u, 2u, 5u, 97u, 100u, 200u}) {
+    for (const std::size_t blocks : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      const std::vector<std::size_t> bounds = eval_block_boundaries(n, blocks);
+      ASSERT_GE(bounds.size(), 2u);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), n);
+      for (std::size_t b = 1; b < bounds.size(); ++b) EXPECT_LE(bounds[b - 1], bounds[b]);
+      // Triangular balance: no block may hold more than ~2x its share of
+      // the total inner-loop trips (loose bound; the first pass alone
+      // weighs n, so tiny n / many blocks can't split finer).
+      if (n >= 64 && blocks <= 8) {
+        const double total = 0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
+        for (std::size_t b = 1; b < bounds.size(); ++b) {
+          double weight = 0.0;
+          for (std::size_t k = bounds[b - 1]; k < bounds[b]; ++k)
+            weight += static_cast<double>(n - k);
+          EXPECT_LE(weight, 2.0 * total / static_cast<double>(blocks) +
+                                static_cast<double>(n))
+              << "n=" << n << " blocks=" << blocks << " block " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvaluatorParallel, BitIdenticalOnChainForkJoin) {
+  Rng rng(7);
+  const FailureModel model(1e-2, 1.0);
+  {
+    TaskGraph graph = make_uniform_chain(61, 7.0);
+    graph.apply_cost_model(CostModel::constant(1.0));
+    for (int rep = 0; rep < 3; ++rep)
+      expect_bit_identical(graph, model, random_schedule(graph, rng, 0.3));
+  }
+  {
+    std::vector<double> weights;
+    for (int i = 0; i < 40; ++i) weights.push_back(1.0 + (i % 7));
+    TaskGraph graph = make_fork(20.0, weights);
+    graph.apply_cost_model(CostModel::proportional(0.2));
+    for (int rep = 0; rep < 3; ++rep)
+      expect_bit_identical(graph, model, random_schedule(graph, rng, 0.4));
+  }
+  {
+    std::vector<double> weights;
+    for (int i = 0; i < 33; ++i) weights.push_back(2.0 + (i % 5));
+    TaskGraph graph = make_join(weights, 12.0);
+    graph.apply_cost_model(CostModel::proportional(0.2));
+    for (int rep = 0; rep < 3; ++rep)
+      expect_bit_identical(graph, model, random_schedule(graph, rng, 0.4));
+  }
+}
+
+TEST(EvaluatorParallel, BitIdenticalOnCyberShakeUpTo200) {
+  Rng rng(99);
+  // n = 97/131/200: never divisible by 2/4/7 all at once, so every
+  // eval-thread count exercises ragged block boundaries.
+  for (const std::size_t n : {50u, 97u, 131u, 200u}) {
+    const TaskGraph graph = generate_cybershake(
+        {.task_count = n, .seed = 5 + n, .cost_model = CostModel::proportional(0.1)});
+    for (const double lambda : {1e-3, 1e-2}) {
+      expect_bit_identical(graph, FailureModel(lambda, 0.0), random_schedule(graph, rng, 0.25));
+    }
+  }
+}
+
+TEST(EvaluatorParallel, BitIdenticalOnLayeredRandomDags) {
+  Rng rng(1234);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    TaskGraph graph = make_layered_random({.task_count = 80,
+                                           .layer_count = 8,
+                                           .edge_probability = 0.35,
+                                           .mean_weight = 15.0,
+                                           .weight_cv = 0.6,
+                                           .seed = seed});
+    graph.apply_cost_model(CostModel::proportional(0.15));
+    const FailureModel model(seed % 2 ? 1e-2 : 1e-3, seed % 3 ? 0.0 : 2.0);
+    expect_bit_identical(graph, model, random_schedule(graph, rng, 0.3));
+  }
+}
+
+TEST(EvaluatorParallel, BitIdenticalInFailureDominatedRegime) {
+  // Huge lambda drives Eq. (1) into overflow/underflow territory — the
+  // regime where the serial path's zero-probability skips matter. The
+  // parallel combine must reproduce those skips exactly.
+  TaskGraph graph = make_uniform_chain(48, 50.0);
+  graph.apply_cost_model(CostModel::proportional(0.1));
+  Rng rng(3);
+  expect_bit_identical(graph, FailureModel(0.5, 0.0), random_schedule(graph, rng, 0.2));
+  expect_bit_identical(graph, FailureModel(2.0, 1.0), random_schedule(graph, rng, 0.6));
+}
+
+TEST(EvaluatorParallel, MatchesAlgorithmOneOnRandomDags) {
+  // Differential anchor: parallel evaluator vs the literal O(n^4)
+  // transcription (small n — the reference is quartic).
+  Rng rng(42);
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    TaskGraph graph = make_layered_random({.task_count = 24,
+                                           .layer_count = 5,
+                                           .edge_probability = 0.4,
+                                           .mean_weight = 12.0,
+                                           .weight_cv = 0.5,
+                                           .seed = seed});
+    graph.apply_cost_model(CostModel::proportional(0.15));
+    const FailureModel model(1e-2, seed % 2 ? 2.0 : 0.0);
+    const Schedule schedule = random_schedule(graph, rng, 0.35);
+    const double reference = evaluate_reference(graph, model, schedule);
+    const ScheduleEvaluator evaluator(graph, model);
+    EvaluatorWorkspace ws;
+    for (const std::size_t threads : {2u, 4u, 7u}) {
+      const double parallel = evaluator.expected_makespan(schedule, ws, true,
+                                                          {.threads = threads});
+      assert_rel_near(reference, parallel, 1e-12, "parallel vs Algorithm 1");
+    }
+  }
+}
+
+TEST(EvaluatorParallel, ThreadCountBeyondTasksAndTinyGraphs) {
+  Rng rng(5);
+  for (const std::size_t n : {1u, 2u, 3u, 5u}) {
+    TaskGraph graph = make_uniform_chain(n, 4.0);
+    graph.apply_cost_model(CostModel::constant(0.5));
+    expect_bit_identical(graph, FailureModel(1e-2, 0.0), random_schedule(graph, rng, 0.5),
+                         {2, 4, 16});
+  }
+}
+
+TEST(EvaluatorParallel, WorkspaceReuseAcrossModes) {
+  // One workspace, alternating serial and parallel evaluations of
+  // different schedules: stale block scratch must never leak into the
+  // next call.
+  const TaskGraph graph = generate_montage(
+      {.task_count = 60, .seed = 11, .cost_model = CostModel::proportional(0.1)});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 0.0));
+  Rng rng(8);
+  EvaluatorWorkspace shared_ws;
+  for (int rep = 0; rep < 4; ++rep) {
+    const Schedule schedule = random_schedule(graph, rng, 0.3);
+    EvaluatorWorkspace fresh;
+    const double serial = evaluator.expected_makespan(schedule, fresh);
+    EXPECT_EQ(serial, evaluator.expected_makespan(schedule, shared_ws, true,
+                                                  {.threads = rep % 2 ? 4u : 1u}));
+    EXPECT_EQ(serial, evaluator.expected_makespan(schedule, shared_ws));
+  }
+}
+
+}  // namespace
+}  // namespace fpsched

@@ -32,6 +32,7 @@ TEST(ParseJobRequestTest, MapsTheFigureOptionsSurface) {
                                                 {"seed", "7"},
                                                 {"weight_cv", "0.5"},
                                                 {"threads", "2"},
+                                                {"eval_threads", "4"},
                                                 {"tasks", "123"},
                                                 {"downtimes", "0,60"},
                                                 {"instance_cache", "false"}});
@@ -41,6 +42,7 @@ TEST(ParseJobRequestTest, MapsTheFigureOptionsSurface) {
   EXPECT_EQ(request.options.seed, 7u);
   EXPECT_DOUBLE_EQ(request.options.weight_cv, 0.5);
   EXPECT_EQ(request.options.threads, 2u);
+  EXPECT_EQ(request.options.eval_threads, 4u);
   EXPECT_EQ(request.options.tasks, 123u);
   EXPECT_EQ(request.options.downtimes, (std::vector<double>{0, 60}));
   EXPECT_FALSE(request.options.instance_cache);

@@ -1,17 +1,51 @@
-// Tests for the thread pool and parallel_for helpers.
+// Tests for the thread pool, nested task groups, and parallel_for helpers.
 #include "support/threading.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <iostream>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "engine/engine.hpp"
+#include "engine/result_sink.hpp"
 #include "support/error.hpp"
 
 namespace fpsched {
 namespace {
+
+/// Runs `body` on a separate thread and fails WITHOUT hanging the suite
+/// when it does not finish within `seconds` — the deadlock guard for the
+/// nested-scheduling tests. A deadlocked body can never be joined (an
+/// std::async future's destructor would just block on it), so on timeout
+/// this reports and hard-exits the binary: a loud red test beats hanging
+/// to the CI job timeout with no diagnostic.
+void expect_finishes_within(int seconds, const std::function<void()>& body) {
+  std::promise<void> promise;
+  std::future<void> done = promise.get_future();
+  std::thread worker(
+      [&body](std::promise<void> result) {
+        try {
+          body();
+          result.set_value();
+        } catch (...) {
+          result.set_exception(std::current_exception());
+        }
+      },
+      std::move(promise));
+  if (done.wait_for(std::chrono::seconds(seconds)) != std::future_status::ready) {
+    std::cerr << "FATAL: timed out after " << seconds
+              << "s — nested pool scheduling deadlocked?\n";
+    std::_Exit(3);
+  }
+  worker.join();
+  done.get();  // propagate assertions/exceptions
+}
 
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(4);
@@ -35,6 +69,99 @@ TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
 }
 
 TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), InvalidArgument); }
+
+TEST(TaskGroup, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  TaskGroup group(pool);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    group.run([&hits, i] { hits[i].fetch_add(1); });
+  }
+  group.wait();
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(TaskGroup, WaitWithoutTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.wait();
+}
+
+TEST(TaskGroup, RethrowsTheFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 32; ++i) {
+    group.run([&completed, i] {
+      if (i == 7) throw std::runtime_error("task 7");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The pool survives: plain submits still work.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(TaskGroup, NestedGroupsOnOneWorkerDoNotDeadlock) {
+  // The hard case: a pool with a SINGLE worker, where an outer task joins
+  // an inner group. Without the cooperative wait (waiters executing their
+  // own group's queued tasks) this deadlocks instantly — the one worker
+  // is parked inside the outer task.
+  expect_finishes_within(30, [] {
+    ThreadPool pool(1);
+    std::atomic<int> inner_total{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 8; ++i) {
+      outer.run([&pool, &inner_total] {
+        TaskGroup inner(pool);
+        for (int j = 0; j < 16; ++j) inner.run([&inner_total] { inner_total.fetch_add(1); });
+        inner.wait();
+      });
+    }
+    outer.wait();
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+  });
+}
+
+TEST(TaskGroup, ThreeLevelNestingUnderContention) {
+  // Scenario -> budget-sweep -> k-block shaped nesting, more groups than
+  // workers at every level, joined from inside pool tasks throughout.
+  expect_finishes_within(60, [] {
+    ThreadPool pool(3);
+    std::atomic<int> leaves{0};
+    TaskGroup scenarios(pool);
+    for (int s = 0; s < 6; ++s) {
+      scenarios.run([&pool, &leaves] {
+        TaskGroup budgets(pool);
+        for (int b = 0; b < 5; ++b) {
+          budgets.run([&pool, &leaves] {
+            TaskGroup blocks(pool);
+            for (int k = 0; k < 4; ++k) blocks.run([&leaves] { leaves.fetch_add(1); });
+            blocks.wait();
+          });
+        }
+        budgets.wait();
+      });
+    }
+    scenarios.wait();
+    EXPECT_EQ(leaves.load(), 6 * 5 * 4);
+  });
+}
+
+TEST(TaskGroup, MixesWithPlainSubmits) {
+  ThreadPool pool(2);
+  std::atomic<int> plain{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(pool.submit([&plain] { plain.fetch_add(1); }));
+  TaskGroup group(pool);
+  std::atomic<int> grouped{0};
+  for (int i = 0; i < 16; ++i) group.run([&grouped] { grouped.fetch_add(1); });
+  group.wait();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(plain.load(), 16);
+  EXPECT_EQ(grouped.load(), 16);
+}
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   const std::size_t n = 10000;
@@ -81,6 +208,81 @@ TEST(ParallelForWorkers, WorkerIdsAreInRange) {
       },
       threads);
   EXPECT_TRUE(ok.load());
+}
+
+// --- Nested scheduling through the engine ------------------------------
+
+/// NDJSON serialization of a grid run under the given engine options —
+/// the byte stream the nested and serial paths must agree on.
+std::string grid_ndjson(const engine::ScenarioGrid& grid, const engine::EngineOptions& options) {
+  const engine::ExperimentEngine eng(options);
+  std::string out;
+  for (const engine::ScenarioResult& result : eng.run(grid)) {
+    out += engine::to_json({"stress", "panel", result});
+    out += '\n';
+  }
+  return out;
+}
+
+engine::ScenarioGrid nested_stress_grid() {
+  engine::ScenarioGrid grid;
+  grid.workflows = {WorkflowKind::cybershake};
+  grid.sizes = {40};
+  grid.lambdas = {1e-3};
+  grid.stride = 4;
+  grid.policies = {
+      engine::ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::by_weight}),
+      engine::ScenarioPolicy::best_lin(CkptStrategy::by_cost),
+      engine::ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::never}),
+  };
+  return grid;
+}
+
+TEST(NestedScheduling, RecordsBitIdenticalToSerialRun) {
+  // 3 scenarios on an 8-worker engine: scenarios < workers switches run()
+  // to the shared-pool path where idle scenario workers steal budget
+  // tasks from in-flight sweeps. The records must be the same bytes as
+  // the fully serial run — with and without intra-evaluation k-blocks,
+  // and with the instance cache on and off.
+  expect_finishes_within(120, [] {
+    const engine::ScenarioGrid grid = nested_stress_grid();
+    const std::string serial = grid_ndjson(grid, {.threads = 1});
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 8}));
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 8, .eval_threads = 3}));
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 8, .instance_cache = false}));
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 1, .eval_threads = 4}));
+  });
+}
+
+TEST(NestedScheduling, SingleScenarioManyWorkers) {
+  // The acceptance shape: one scenario, many workers — all parallelism
+  // must come from stolen budget tasks (and k-blocks), and the pool must
+  // wind down cleanly with most workers never seeing a scenario task.
+  expect_finishes_within(120, [] {
+    engine::ScenarioGrid grid = nested_stress_grid();
+    grid.policies = {
+        engine::ScenarioPolicy::fixed({LinearizeMethod::depth_first, CkptStrategy::by_weight})};
+    grid.stride = 1;  // full 1..n-1 budget fan-out
+    const std::string serial = grid_ndjson(grid, {.threads = 1});
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 8}));
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 8, .eval_threads = 2}));
+  });
+}
+
+TEST(NestedScheduling, AbsurdThreadCountsAreClampedNotFatal) {
+  // Thread counts arrive from CLI flags and HTTP query parameters; a
+  // threads=10^9 request must degrade to the engine's hard worker
+  // ceiling (and the same bytes), not attempt a billion OS threads.
+  expect_finishes_within(120, [] {
+    engine::ScenarioGrid grid = nested_stress_grid();
+    grid.policies.resize(1);
+    const std::string serial = grid_ndjson(grid, {.threads = 1});
+    EXPECT_EQ(serial, grid_ndjson(grid, {.threads = 1'000'000'000}));
+    const engine::ExperimentEngine wide({.threads = 1'000'000'000, .eval_threads = 500'000});
+    EXPECT_LE(wide.thread_count(), kMaxPoolThreads);
+    EXPECT_LE(wide.eval_threads(), kMaxPoolThreads);
+  });
 }
 
 TEST(ParallelForWorkers, DisjointAccumulatorsSumCorrectly) {
