@@ -30,6 +30,9 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
                  "0 = all cores); takes effect when scenario sharding alone cannot fill the "
                  "workers (scenarios < --threads, or --threads 1) and is ignored on the "
                  "scenario-saturated path; output is bit-identical for every value");
+  cli.add_option("eval-math", "exact",
+                 "evaluator transcendental backend: 'exact' (libm, bit-identical to prior "
+                 "releases) or 'fast' (batched polynomial kernels, <= 4 ulp per call)");
   cli.add_flag("no-instance-cache",
                "re-generate and re-linearize the instance for every scenario "
                "(the pre-cache engine path; results are identical)");
@@ -51,6 +54,7 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   if (!options.csv_dir.empty()) engine::ensure_output_directory(options.csv_dir);
   options.threads = cli.get_count("threads");
   options.eval_threads = cli.get_count("eval-threads");
+  options.eval_math = parse_eval_math(cli.get_string("eval-math"));
   options.instance_cache = !cli.get_flag("no-instance-cache");
   if (cli.has_option("tasks")) options.tasks = cli.get_count("tasks", 1);
   if (cli.has_option("downtimes")) {
@@ -66,7 +70,8 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
 engine::ExperimentEngine make_engine(const FigureOptions& options) {
   return engine::ExperimentEngine({.threads = options.threads,
                                    .instance_cache = options.instance_cache,
-                                   .eval_threads = options.eval_threads});
+                                   .eval_threads = options.eval_threads,
+                                   .eval_math = options.eval_math});
 }
 
 void run_figure_experiment(std::ostream& os, const engine::Experiment& experiment,

@@ -1,9 +1,10 @@
 // Micro-benchmark for the Theorem-3 evaluation hot path, emitting
 // machine-readable JSON so the bench trajectory is tracked across PRs
-// (`BENCH_evaluator.json`: ns/eval by n, strategy and thread count).
+// (`BENCH_evaluator.json`: ns/eval by n, strategy, math backend and
+// thread count; tools/check_bench_schema.py validates the schema in CI).
 //
 //   $ perf_evaluator --quick
-//   $ perf_evaluator --sizes 100,200,400 --eval-threads 1,2,4,8 --out bench.json
+//   $ perf_evaluator --sizes 100,200,400 --eval-threads 1,2,4 --repeats 5
 //
 // Strategies:
 //   serial      the optimized serial fast path (the sweep inner loop)
@@ -12,25 +13,35 @@
 //   algorithm1  the literal O(n^4) Algorithm-1 transcription (small n
 //               only — it exists as an executable specification)
 //
+// Each strategy runs once per --math backend (exact = libm, fast =
+// batched polynomial kernels). Noise handling: every measurement is
+// `--repeats` independent samples of at least --min-time-ms each;
+// ns_per_eval is the median sample (robust against one preempted run)
+// and ns_per_eval_min the fastest (the machine's attainable floor).
+//
 // Dependency-free by design (hand-rolled steady_clock timing, no
 // google-benchmark), so the bench always builds and its JSON is always
 // producible in CI. Every kblock measurement also asserts bit-identity
-// against the serial value — a perf run that silently diverged would be
-// worthless.
+// against the serial value of its backend, and every fast measurement
+// asserts 1e-10 relative agreement with exact — a perf run that silently
+// diverged would be worthless.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <utility>
+#include <thread>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/evaluator_naive.hpp"
+#include "core/math_kernels.hpp"
 #include "dag/linearize.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/threading.hpp"
 #include "workflows/generator.hpp"
@@ -56,40 +67,75 @@ struct Fixture {
 struct BenchRow {
   std::size_t n = 0;
   std::string strategy;
+  std::string math = "exact";
   std::size_t threads = 1;
-  double ns_per_eval = 0.0;
-  std::size_t evals = 0;
+  double ns_per_eval = 0.0;      // median over the repeats
+  double ns_per_eval_min = 0.0;  // fastest repeat
+  std::size_t evals = 0;         // total across all repeats
+  std::size_t repeats = 0;
   double expected_makespan = 0.0;
 };
 
-/// Calls `eval` repeatedly until `min_time` elapsed (at least once, at
-/// most `max_evals`) and returns mean ns/eval plus the last value.
-template <typename Eval>
-std::pair<double, std::size_t> measure(double min_time_ms, std::size_t max_evals,
-                                       double& value, const Eval& eval) {
-  using clock = std::chrono::steady_clock;
-  value = eval();  // warm-up (touches every scratch buffer once)
-  const clock::time_point start = clock::now();
+struct Measurement {
+  double median_ns = 0.0;
+  double min_ns = 0.0;
   std::size_t evals = 0;
+};
+
+/// One sample: calls `eval` until `min_time_ms` elapsed (at least once,
+/// at most `max_evals` calls) and returns mean ns/eval.
+template <typename Eval>
+double sample(double min_time_ms, std::size_t max_evals, std::size_t& evals, double& value,
+              const Eval& eval) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+  std::size_t count = 0;
   double elapsed_ns = 0.0;
   do {
     value = eval();
-    ++evals;
+    ++count;
     elapsed_ns = std::chrono::duration<double, std::nano>(clock::now() - start).count();
-  } while (elapsed_ns < min_time_ms * 1e6 && evals < max_evals);
-  return {elapsed_ns / static_cast<double>(evals), evals};
+  } while (elapsed_ns < min_time_ms * 1e6 && count < max_evals);
+  evals += count;
+  return elapsed_ns / static_cast<double>(count);
+}
+
+/// `repeats` independent samples; median and min of the per-sample means.
+template <typename Eval>
+Measurement measure(std::size_t repeats, double min_time_ms, std::size_t max_evals,
+                    double& value, const Eval& eval) {
+  value = eval();  // warm-up (touches every scratch buffer once)
+  Measurement out;
+  std::vector<double> samples(repeats);
+  for (double& s : samples) s = sample(min_time_ms, max_evals, out.evals, value, eval);
+  std::sort(samples.begin(), samples.end());
+  out.min_ns = samples.front();
+  const std::size_t mid = repeats / 2;
+  out.median_ns =
+      repeats % 2 ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+  return out;
 }
 
 /// Round-trip precision, with non-finite values quoted ("inf"/"nan") so
 /// the output stays parseable JSON even on failure-dominated fixtures —
 /// same convention as the NDJSON record sink.
 std::string json_number(double value) {
-  if (!std::isfinite(value)) return "\"" + format_double_full(value) + "\"";
-  return format_double_full(value);
+  std::string text = format_double_full(value);
+  // Built with append rather than `"\"" + ... + "\""`: the rvalue
+  // string::insert that operator+ chain lowers to trips GCC 12's
+  // -Wrestrict false positive (GCC PR105651).
+  if (!std::isfinite(value)) {
+    text.insert(text.begin(), '"');
+    text.push_back('"');
+  }
+  return text;
 }
 
 std::string to_json(const std::vector<BenchRow>& rows) {
-  std::string out = "{\"bench\":\"evaluator\",\"fixture\":{\"workflow\":\"cybershake\","
+  std::string out = "{\"bench\":\"evaluator\",\"compiler\":\"" + std::string(__VERSION__) +
+                    "\",\"threads_available\":" +
+                    std::to_string(std::thread::hardware_concurrency()) +
+                    ",\"fixture\":{\"workflow\":\"cybershake\","
                     "\"seed\":5,\"lambda\":0.001,\"cost_model\":\"proportional(0.1)\","
                     "\"linearization\":\"DF\",\"checkpoint_every\":3},\"results\":[";
   bool first = true;
@@ -97,28 +143,43 @@ std::string to_json(const std::vector<BenchRow>& rows) {
     if (!first) out += ',';
     first = false;
     out += "{\"n\":" + std::to_string(row.n) + ",\"strategy\":\"" + row.strategy +
-           "\",\"threads\":" + std::to_string(row.threads) +
+           "\",\"math\":\"" + row.math + "\",\"threads\":" + std::to_string(row.threads) +
            ",\"ns_per_eval\":" + json_number(row.ns_per_eval) +
+           ",\"ns_per_eval_min\":" + json_number(row.ns_per_eval_min) +
            ",\"evals\":" + std::to_string(row.evals) +
+           ",\"repeats\":" + std::to_string(row.repeats) +
            ",\"expected_makespan\":" + json_number(row.expected_makespan) + "}";
   }
   out += "]}";
   return out;
 }
 
+void log_row(const BenchRow& row, double baseline_ns) {
+  std::cerr << "n=" << row.n << " " << row.strategy;
+  if (row.threads > 1) std::cerr << " x" << row.threads;
+  std::cerr << " [" << row.math << "]: " << row.ns_per_eval / 1e3 << " us/eval (median)";
+  if (baseline_ns > 0.0 && baseline_ns != row.ns_per_eval) {
+    std::cerr << " (" << baseline_ns / row.ns_per_eval << "x vs exact serial)";
+  }
+  std::cerr << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("perf_evaluator — Theorem-3 evaluation micro-bench, JSON output "
-                "(serial fast path vs k-blocked parallel vs Algorithm 1).");
+                "(serial fast path vs k-blocked parallel vs Algorithm 1, exact vs "
+                "fast math backends).");
   cli.add_option("sizes", "50,100,200,400,800", "task-count grid (CyberShake fixture)");
   cli.add_option("eval-threads", "1,2,4,8",
                  "thread counts for the k-blocked strategy (1 entries are skipped — serial "
                  "is always measured)");
+  cli.add_option("math", "exact,fast", "evaluator math backends to measure");
   cli.add_option("naive-max", "100",
                  "largest n for the O(n^4) Algorithm-1 reference (0 disables it)");
-  cli.add_option("min-time-ms", "200", "minimum sampling time per measurement");
-  cli.add_option("max-evals", "10000", "hard cap on evaluations per measurement");
+  cli.add_option("min-time-ms", "200", "minimum sampling time per repeat");
+  cli.add_option("repeats", "3", "independent samples per measurement (median reported)");
+  cli.add_option("max-evals", "10000", "hard cap on evaluations per repeat");
   cli.add_option("out", "BENCH_evaluator.json", "output JSON path (empty = stdout only)");
   cli.add_flag("quick", "small sizes + short sampling for a smoke run");
   try {
@@ -139,8 +200,14 @@ int main(int argc, char** argv) {
       }
       thread_grid.push_back(static_cast<std::size_t>(t));
     }
+    std::vector<EvalMath> backends;
+    for (const std::string& name : cli.get_string_list("math")) {
+      backends.push_back(parse_eval_math(name));
+    }
+    if (backends.empty()) throw InvalidArgument("option --math: need at least one backend");
     std::size_t naive_max = cli.get_count("naive-max");
     double min_time_ms = cli.get_double("min-time-ms");
+    const std::size_t repeats = cli.get_count("repeats", 1);
     std::size_t max_evals = cli.get_count("max-evals", 1);
     if (cli.get_flag("quick")) {
       sizes = {50, 100};
@@ -154,43 +221,73 @@ int main(int argc, char** argv) {
       const ScheduleEvaluator evaluator(fixture.graph, fixture.model);
       EvaluatorWorkspace ws;
 
-      BenchRow serial{n, "serial", 1, 0.0, 0, 0.0};
-      std::tie(serial.ns_per_eval, serial.evals) =
-          measure(min_time_ms, max_evals, serial.expected_makespan, [&] {
-            return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false);
-          });
-      rows.push_back(serial);
-      std::cerr << "n=" << n << " serial: " << serial.ns_per_eval / 1e3 << " us/eval\n";
-
-      for (const std::size_t threads : thread_grid) {
-        if (threads <= 1) continue;
-        // Pool width threads - 1: the measuring thread helps through the
-        // TaskGroup wait, exactly like an engine worker would.
-        ThreadPool pool(threads - 1);
-        const EvalParallel parallel{threads, &pool};
-        BenchRow row{n, "kblock", threads, 0.0, 0, 0.0};
-        std::tie(row.ns_per_eval, row.evals) =
-            measure(min_time_ms, max_evals, row.expected_makespan, [&] {
+      double exact_serial_ns = 0.0;
+      bool have_exact = false;
+      bool have_fast = false;
+      double exact_serial_value = 0.0;
+      double fast_serial_value = 0.0;
+      for (const EvalMath math : backends) {
+        BenchRow serial{n, "serial", to_string(math), 1, 0.0, 0.0, 0, repeats, 0.0};
+        const Measurement m =
+            measure(repeats, min_time_ms, max_evals, serial.expected_makespan, [&] {
               return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false,
-                                                 parallel);
+                                                 {.math = math});
             });
-        if (row.expected_makespan != serial.expected_makespan) {
-          throw Error("k-blocked evaluation diverged from the serial path (n=" +
-                      std::to_string(n) + ", threads=" + std::to_string(threads) + ")");
+        serial.ns_per_eval = m.median_ns;
+        serial.ns_per_eval_min = m.min_ns;
+        serial.evals = m.evals;
+        if (math == EvalMath::exact) {
+          exact_serial_value = serial.expected_makespan;
+          exact_serial_ns = serial.ns_per_eval;
+          have_exact = true;
+        } else {
+          fast_serial_value = serial.expected_makespan;
+          have_fast = true;
         }
-        rows.push_back(row);
-        std::cerr << "n=" << n << " kblock x" << threads << ": " << row.ns_per_eval / 1e3
-                  << " us/eval (" << serial.ns_per_eval / row.ns_per_eval << "x)\n";
+        if (have_exact && have_fast &&
+            relative_difference(exact_serial_value, fast_serial_value) > 1e-10) {
+          throw Error("fast backend diverged from exact beyond 1e-10 (n=" +
+                      std::to_string(n) + ")");
+        }
+        rows.push_back(serial);
+        log_row(serial, exact_serial_ns);
+
+        for (const std::size_t threads : thread_grid) {
+          if (threads <= 1) continue;
+          // Pool width threads - 1: the measuring thread helps through
+          // the TaskGroup wait, exactly like an engine worker would.
+          ThreadPool pool(threads - 1);
+          const EvalParallel parallel{threads, &pool, math};
+          BenchRow row{n, "kblock", to_string(math), threads, 0.0, 0.0, 0, repeats, 0.0};
+          const Measurement km =
+              measure(repeats, min_time_ms, max_evals, row.expected_makespan, [&] {
+                return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false,
+                                                   parallel);
+              });
+          row.ns_per_eval = km.median_ns;
+          row.ns_per_eval_min = km.min_ns;
+          row.evals = km.evals;
+          if (row.expected_makespan != serial.expected_makespan) {
+            throw Error("k-blocked evaluation diverged from the serial path (n=" +
+                        std::to_string(n) + ", threads=" + std::to_string(threads) +
+                        ", math=" + to_string(math) + ")");
+          }
+          rows.push_back(row);
+          log_row(row, exact_serial_ns);
+        }
       }
 
       if (naive_max > 0 && n <= naive_max) {
-        BenchRow naive{n, "algorithm1", 1, 0.0, 0, 0.0};
-        std::tie(naive.ns_per_eval, naive.evals) =
-            measure(min_time_ms, /*max_evals=*/5, naive.expected_makespan, [&] {
+        BenchRow naive{n, "algorithm1", "exact", 1, 0.0, 0.0, 0, repeats, 0.0};
+        const Measurement nm =
+            measure(repeats, min_time_ms, /*max_evals=*/5, naive.expected_makespan, [&] {
               return evaluate_reference(fixture.graph, fixture.model, fixture.schedule);
             });
+        naive.ns_per_eval = nm.median_ns;
+        naive.ns_per_eval_min = nm.min_ns;
+        naive.evals = nm.evals;
         rows.push_back(naive);
-        std::cerr << "n=" << n << " algorithm1: " << naive.ns_per_eval / 1e3 << " us/eval\n";
+        log_row(naive, exact_serial_ns);
       }
     }
 

@@ -1,283 +1,15 @@
-// Section-4 theory validation harness (no figure in the paper, but every
-// theorem is exercised numerically):
-//  * Theorem 1 — fork decision vs exhaustive evaluation;
-//  * Lemma 2 / Corollary 1 — join g-ordering and equal-cost solver vs
-//    brute force;
-//  * Toueg-Babaoglu chain DP vs brute force;
-//  * Theorem 2 — SUBSET-SUM gadget threshold behaviour;
-//  * Theorem 3 — optimized evaluator vs the literal Algorithm-1
-//    transcription and vs Monte-Carlo simulation.
+// Section-4 theory validation, registered as the "theory" experiment:
+// a Theorem-3 best-linearization grid over all four workflow kinds at
+// sizes small enough for the literal Algorithm-1 transcription to replay
+// every cell (tests/experiment_test.cpp does, at 1e-9). Running through
+// the registry makes the validation shardable (--shard I/N) and servable
+// (fpsched_serve ?experiment=theory), byte-identical to `fpsched_run
+// theory`.
 //
-// Instance parameters are drawn serially (fixed RNG order), then the
-// expensive validations are sharded across the experiment engine's
-// workers; rows print in instance order, so output is independent of the
-// thread count.
-#include <iostream>
+// The Theorem-1 / Lemma-2 / chain-DP / SUBSET-SUM sections this binary
+// used to print now live as assertions in the unit suite (see the
+// experiment's closing notes for the file-by-file map) — they validate on
+// every test run instead of only when someone reads the table.
+#include "bench_common.hpp"
 
-#include "core/evaluator_naive.hpp"
-#include "core/subset_sum.hpp"
-#include "core/theory_chain.hpp"
-#include "core/theory_fork.hpp"
-#include "core/theory_join.hpp"
-#include "engine/engine.hpp"
-#include "sim/trial_runner.hpp"
-#include "support/cli.hpp"
-#include "support/error.hpp"
-#include "support/rng.hpp"
-#include "support/stats.hpp"
-#include "support/table.hpp"
-#include "workflows/synthetic.hpp"
-
-using namespace fpsched;
-
-namespace {
-
-void fork_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
-  os << "\n--- Theorem 1: fork graphs ---\n";
-  struct Instance {
-    std::vector<double> sink_weights;
-    double source_weight = 0.0;
-    double lambda = 0.0;
-  };
-  std::vector<Instance> instances(5);
-  for (int i = 0; i < 5; ++i) {
-    Instance& instance = instances[i];
-    instance.sink_weights.resize(3 + static_cast<std::size_t>(i));
-    for (double& w : instance.sink_weights) w = rng.uniform(5.0, 60.0);
-    instance.source_weight = rng.uniform(20.0, 120.0);
-    instance.lambda = rng.uniform(0.002, 0.02);
-  }
-
-  struct Row {
-    ForkAnalysis analysis;
-    double evaluated = 0.0;
-  };
-  std::vector<Row> rows(instances.size());
-  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace&) {
-    const Instance& instance = instances[i];
-    TaskGraph graph = make_fork(instance.source_weight, instance.sink_weights);
-    graph.apply_cost_model(CostModel::proportional(0.15));
-    const FailureModel model(instance.lambda, 0.0);
-    rows[i].analysis = analyze_fork(graph, model);
-    const Schedule schedule = optimal_fork_schedule(graph, model);
-    rows[i].evaluated = ScheduleEvaluator(graph, model).evaluate(schedule).expected_makespan;
-  });
-
-  Table table({"sinks", "lambda", "E[ckpt src]", "E[no ckpt]", "decision", "agrees w/ evaluator"});
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    table.row()
-        .cell(instances[i].sink_weights.size())
-        .cell(instances[i].lambda, 4)
-        .cell(row.analysis.expected_with_checkpoint, 2)
-        .cell(row.analysis.expected_without_checkpoint, 2)
-        .cell(std::string(row.analysis.checkpoint_source ? "checkpoint" : "skip"))
-        .cell(std::string(
-            relative_difference(row.evaluated, row.analysis.optimal_expected_makespan) < 1e-9
-                ? "yes"
-                : "NO"));
-  }
-  table.print(os);
-}
-
-void join_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
-  os << "\n--- Lemma 2 / Corollary 1: join graphs (uniform costs) ---\n";
-  struct Instance {
-    std::vector<double> weights;
-    double sink_weight = 0.0;
-    double cost = 0.0;
-    double lambda = 0.0;
-  };
-  std::vector<Instance> instances(5);
-  for (int i = 0; i < 5; ++i) {
-    Instance& instance = instances[i];
-    instance.weights.resize(6 + static_cast<std::size_t>(i));
-    for (double& w : instance.weights) w = rng.uniform(5.0, 80.0);
-    instance.sink_weight = rng.uniform(1.0, 15.0);
-    instance.cost = rng.uniform(1.0, 5.0);
-    instance.lambda = rng.uniform(0.003, 0.02);
-  }
-
-  struct Row {
-    JoinSolution fast;
-    JoinSolution exact;
-  };
-  std::vector<Row> rows(instances.size());
-  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace&) {
-    const Instance& instance = instances[i];
-    TaskGraph graph = make_join(instance.weights, instance.sink_weight);
-    graph.apply_cost_model(CostModel::constant(instance.cost));
-    const FailureModel model(instance.lambda, 0.0);
-    rows[i].fast = solve_join_equal_costs(graph, model);
-    rows[i].exact = solve_join_bruteforce(graph, model);
-  });
-
-  Table table({"sources", "lambda", "Corollary-1 E[T]", "brute-force E[T]", "ckpts", "match"});
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    table.row()
-        .cell(instances[i].weights.size())
-        .cell(instances[i].lambda, 4)
-        .cell(row.fast.expected_makespan, 2)
-        .cell(row.exact.expected_makespan, 2)
-        .cell(row.fast.checkpointed_sources.size())
-        .cell(std::string(
-            relative_difference(row.fast.expected_makespan, row.exact.expected_makespan) < 1e-9
-                ? "yes"
-                : "NO"));
-  }
-  table.print(os);
-}
-
-void chain_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
-  os << "\n--- Toueg-Babaoglu chain dynamic program ---\n";
-  struct Instance {
-    std::vector<double> weights;
-    double cost_factor = 0.0;
-    double lambda = 0.0;
-  };
-  std::vector<Instance> instances(5);
-  for (int i = 0; i < 5; ++i) {
-    Instance& instance = instances[i];
-    instance.weights.resize(8 + static_cast<std::size_t>(i) * 2);
-    for (double& w : instance.weights) w = rng.uniform(5.0, 70.0);
-    instance.cost_factor = rng.uniform(0.05, 0.3);
-    instance.lambda = rng.uniform(0.002, 0.03);
-  }
-
-  struct Row {
-    ChainSolution dp;
-    ChainSolution exact;
-  };
-  std::vector<Row> rows(instances.size());
-  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace&) {
-    const Instance& instance = instances[i];
-    TaskGraph graph = make_chain(instance.weights);
-    graph.apply_cost_model(CostModel::proportional(instance.cost_factor));
-    const FailureModel model(instance.lambda, 0.0);
-    rows[i].dp = solve_chain_optimal(graph, model);
-    rows[i].exact = solve_chain_bruteforce(graph, model);
-  });
-
-  Table table({"tasks", "lambda", "DP E[T]", "brute-force E[T]", "DP ckpts", "match"});
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    table.row()
-        .cell(instances[i].weights.size())
-        .cell(instances[i].lambda, 4)
-        .cell(row.dp.expected_makespan, 2)
-        .cell(row.exact.expected_makespan, 2)
-        .cell(row.dp.checkpoint_positions.size())
-        .cell(std::string(
-            relative_difference(row.dp.expected_makespan, row.exact.expected_makespan) < 1e-9
-                ? "yes"
-                : "NO"));
-  }
-  table.print(os);
-}
-
-void subset_sum_section(std::ostream& os) {
-  os << "\n--- Theorem 2: SUBSET-SUM gadget ---\n";
-  Table table({"instance", "target", "solvable (DP)", "gadget reaches t_min"});
-  const std::vector<std::pair<SubsetSumInstance, std::string>> instances = {
-      {{{3, 5, 7}, 8}, "{3,5,7}"},    {{{3, 5, 7}, 9}, "{3,5,7}"},
-      {{{2, 4, 6, 8}, 10}, "{2,4,6,8}"}, {{{2, 4, 6, 8}, 11}, "{2,4,6,8}"},
-      {{{1, 2, 5, 9}, 16}, "{1,2,5,9}"}, {{{5, 5, 5}, 7}, "{5,5,5}"},
-  };
-  for (const auto& [instance, label] : instances) {
-    const bool solvable = subset_sum_solvable(instance);
-    const bool reached = gadget_reaches_threshold(reduce_subset_sum(instance));
-    table.row()
-        .cell(label)
-        .cell(static_cast<std::size_t>(instance.target))
-        .cell(std::string(solvable ? "yes" : "no"))
-        .cell(std::string(reached ? "yes" : "no"));
-  }
-  table.print(os);
-  os << "(Theorem 2 requires the two right columns to be identical.)\n";
-}
-
-void evaluator_section(std::ostream& os, Rng& rng, const engine::ExperimentEngine& eng) {
-  os << "\n--- Theorem 3: evaluator vs Algorithm 1 vs Monte-Carlo ---\n";
-  struct Instance {
-    std::size_t task_count = 0;
-    std::uint64_t graph_seed = 0;
-    double lambda = 0.0;
-    std::uint64_t mc_seed = 0;
-  };
-  std::vector<Instance> instances(4);
-  for (int i = 0; i < 4; ++i) {
-    Instance& instance = instances[i];
-    instance.task_count = 14 + 6u * static_cast<std::size_t>(i);
-    instance.graph_seed = rng();
-    instance.lambda = rng.uniform(0.002, 0.01);
-    instance.mc_seed = rng();
-  }
-
-  struct Row {
-    double fast = 0.0;
-    double naive = 0.0;
-    MonteCarloSummary mc;
-  };
-  std::vector<Row> rows(instances.size());
-  eng.for_each(instances.size(), [&](std::size_t i, EvaluatorWorkspace& ws) {
-    const Instance& instance = instances[i];
-    TaskGraph graph = make_layered_random({.task_count = instance.task_count,
-                                           .layer_count = 4,
-                                           .mean_weight = 25.0,
-                                           .seed = instance.graph_seed});
-    graph.apply_cost_model(CostModel::proportional(0.1));
-    const FailureModel model(instance.lambda, 1.0);
-    Schedule schedule =
-        make_schedule(linearize(graph.dag(), graph.weights(), LinearizeMethod::depth_first));
-    for (VertexId v = 0; v < graph.task_count(); v += 3) schedule.checkpointed[v] = 1;
-
-    rows[i].fast =
-        ScheduleEvaluator(graph, model).evaluate(schedule, ws).expected_makespan;
-    rows[i].naive = evaluate_reference(graph, model, schedule);
-    // Serial trials inside sharded workers: nested pools oversubscribe
-    // and make the stat-merge order thread-dependent.
-    rows[i].mc = run_trials(FaultSimulator(graph, model, schedule),
-                            {.trials = 30000, .seed = instance.mc_seed,
-                             .threads = eng.inner_threads()});
-  });
-
-  Table table({"tasks", "lambda", "optimized", "Algorithm 1", "MC mean +/- CI95", "consistent"});
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    table.row()
-        .cell(instances[i].task_count)
-        .cell(instances[i].lambda, 4)
-        .cell(row.fast, 3)
-        .cell(row.naive, 3)
-        .cell(format_double(row.mc.mean_makespan(), 2) + " +/- " + format_double(row.mc.ci95(), 2))
-        .cell(std::string(relative_difference(row.fast, row.naive) < 1e-9 &&
-                                  row.mc.consistent_with(row.fast, 3.0)
-                              ? "yes"
-                              : "NO"));
-  }
-  table.print(os);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliParser cli("Validates every Section-4 theoretical result numerically.");
-  cli.add_option("seed", "2025", "randomized-instance seed");
-  cli.add_option("threads", "0", "instance-shard worker threads (0 = all cores)");
-  try {
-    if (!cli.parse(argc, argv)) return 0;
-    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
-    const engine::ExperimentEngine eng({.threads = cli.get_count("threads")});
-    std::cout << "Section 4 theory validation\n";
-    fork_section(std::cout, rng, eng);
-    join_section(std::cout, rng, eng);
-    chain_section(std::cout, rng, eng);
-    subset_sum_section(std::cout);
-    evaluator_section(std::cout, rng, eng);
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("theory", argc, argv); }

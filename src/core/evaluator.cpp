@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
+#include "core/math_kernels.hpp"
 #include "support/error.hpp"
 #include "support/threading.hpp"
 
@@ -20,9 +23,6 @@ void EvaluatorWorkspace::resize(std::size_t n, std::size_t edges) {
   sum_prob.assign(n, 0.0);
   expm1_wc.resize(n);
   self_loss.assign(n, 0.0);
-  recovered_at.assign(n, -1);
-  dfs_stack.clear();
-  dfs_stack.reserve(n);
 }
 
 std::vector<std::size_t> eval_block_boundaries(std::size_t n, std::size_t blocks) {
@@ -50,19 +50,35 @@ WorkspacePool::Lease::~Lease() {
   if (workspace_ != nullptr) {
     const std::lock_guard<std::mutex> lock(pool_->mutex_);
     pool_->free_.push_back(std::move(workspace_));
+    --pool_->outstanding_;
+  }
+}
+
+WorkspacePool::~WorkspacePool() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (outstanding_ != 0) {
+    // A live Lease would unlock a destroyed mutex and push into a
+    // destroyed vector; fail loudly instead (see the header contract).
+    std::fprintf(stderr,
+                 "WorkspacePool destroyed with %zu outstanding lease(s); "
+                 "every Lease must be returned before the pool dies\n",
+                 outstanding_);
+    std::abort();
   }
 }
 
 WorkspacePool::Lease WorkspacePool::acquire() {
+  std::unique_ptr<EvaluatorWorkspace> workspace;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!free_.empty()) {
-      std::unique_ptr<EvaluatorWorkspace> workspace = std::move(free_.back());
+      workspace = std::move(free_.back());
       free_.pop_back();
-      return Lease(this, std::move(workspace));
     }
+    ++outstanding_;
   }
-  return Lease(this, std::make_unique<EvaluatorWorkspace>());
+  if (workspace == nullptr) workspace = std::make_unique<EvaluatorWorkspace>();
+  return Lease(this, std::move(workspace));
 }
 
 ScheduleEvaluator::ScheduleEvaluator(const TaskGraph& graph, FailureModel model)
@@ -73,11 +89,12 @@ Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule) const {
   return evaluate(schedule, ws);
 }
 
-Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule, EvaluatorWorkspace& ws) const {
+Evaluation ScheduleEvaluator::evaluate(const Schedule& schedule, EvaluatorWorkspace& ws,
+                                       const EvalParallel& parallel) const {
   validate_schedule(*graph_, schedule);
   Evaluation result;
   result.per_task_expected.clear();
-  result.expected_makespan = run(schedule, ws, &result.per_task_expected, {});
+  result.expected_makespan = run(schedule, ws, &result.per_task_expected, parallel);
   result.total_weight = graph_->total_weight();
   result.checkpoint_count = schedule.checkpoint_count();
   double fault_free = 0.0;
@@ -183,46 +200,129 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
   // lambda * (w_i + c_i) and e^{-lambda * 0} == 1.0, so reusing the
   // memoized value is bit-identical while skipping both transcendentals
   // on the (dominant) zero-loss pairs of the O(n^2) loop below.
+  //
+  // Like every pass below, the transcendental arguments are staged into
+  // contiguous buffers and handed to the batched kernels (math_kernels.hpp)
+  // in one sweep each; the exact backend makes this bit-identical to the
+  // historical element-wise loop.
+  const EvalMath math = parallel.math;
+  EvaluatorWorkspace::EvalBlockScratch& serial_blk = ws.pass_scratch;
+  serial_blk.q.resize(n);
+  serial_blk.a.resize(n);
+  serial_blk.b.resize(n);
   {
     double elapsed = 0.0;  // sum of w_j + delta_j c_j, j < i
     for (std::size_t i = 0; i < n; ++i) {
-      ws.expm1_wc[i] = std::expm1(lambda * (ws.work[i] + ws.ckpt[i]));
-      const double p = std::exp(-lambda * elapsed);
+      ws.expm1_wc[i] = lambda * (ws.work[i] + ws.ckpt[i]);
+      serial_blk.q[i] = elapsed;
+      elapsed += ws.work[i] + ws.ckpt[i];
+    }
+    vexpm1(ws.expm1_wc.data(), ws.expm1_wc.data(), n, math);
+    vexp_neg_mul(lambda, serial_blk.q.data(), serial_blk.q.data(), n, math);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = serial_blk.q[i];
       if (p > 0.0) {
         ws.accum[i] += p * ws.expm1_wc[i];
         ws.sum_prob[i] += p;
       }
-      elapsed += ws.work[i] + ws.ckpt[i];
     }
   }
 
   // --- Passes k = 0..n-1: last failure during X_k. ----------------------
+  //
+  // Phase A of pass k (stage_pass): walk the lost-work DFS, stage every
+  // record's kernel arguments — S^i_k in q, L^i_k in a — then batch the
+  // pass's transcendentals as three sweeps: q <- e^{-lambda q} for all
+  // records, and for the compacted L > 0 subset a <- e^{-lambda L},
+  // b <- expm1(lambda (L + w_i + delta_i c_i)). The staged expressions and
+  // guards mirror the historical element-wise code token for token, so
+  // the combine consumes bit-identical factors under the exact backend.
+  // Returns one past the last record written.
+  const auto stage_pass = [&](std::size_t k, EvaluatorWorkspace::EvalBlockScratch& blk,
+                              std::size_t r0) -> std::size_t {
+    double span = 0.0;  // S^i_k = sum_{k<j<i} (L^j_k + w_j + delta_j c_j)
+    std::size_t r = r0;
+    for (std::size_t i = k; i < n; ++i) {
+      const double lost =
+          lost_work(i, static_cast<std::int32_t>(k), blk.recovered_at, blk.dfs_stack);
+      if (i == k) {
+        ws.self_loss[k] = lost;  // L^k_k; blocks never overlap on k
+        continue;
+      }
+      blk.q[r] = span;  // staged argument, swept in place below
+      blk.a[r] = lost;  // staged L, rewritten by the compaction below
+      ++r;
+      span += lost + ws.work[i] + ws.ckpt[i];
+    }
+    vexp_neg_mul(lambda, blk.q.data() + r0, blk.q.data() + r0, r - r0, math);
+    blk.lost_idx.clear();
+    blk.arg_a.clear();
+    blk.arg_b.clear();
+    for (std::size_t j = r0; j < r; ++j) {
+      const double lost = blk.a[j];
+      if (lost == 0.0) {
+        blk.a[j] = -1.0;  // sentinel: combine reuses the memoized expm1_wc[i]
+        blk.b[j] = 0.0;
+      } else if (blk.q[j] > 0.0) {
+        const std::size_t i = k + 1 + (j - r0);
+        blk.lost_idx.push_back(static_cast<std::uint32_t>(j));
+        blk.arg_a.push_back(lost);
+        blk.arg_b.push_back(lambda * (lost + ws.work[i] + ws.ckpt[i]));
+      } else {
+        blk.a[j] = 0.0;  // q == 0 forces p == 0; never read
+        blk.b[j] = 0.0;
+      }
+    }
+    vexp_neg_mul(lambda, blk.arg_a.data(), blk.arg_a.data(), blk.arg_a.size(), math);
+    vexpm1(blk.arg_b.data(), blk.arg_b.data(), blk.arg_b.size(), math);
+    for (std::size_t j = 0; j < blk.lost_idx.size(); ++j) {
+      blk.a[blk.lost_idx[j]] = blk.arg_a[j];
+      blk.b[blk.lost_idx[j]] = blk.arg_b[j];
+    }
+    return r;
+  };
+
+  // Accumulation of pass k from its staged factors, in the fixed serial
+  // order (k-major, i ascending) — the same sequence of floating-point
+  // operations regardless of how phase A was scheduled.
+  // P(Z^{k+1}_k) = 1 - sum over earlier failure positions (property B).
+  const auto combine_pass = [&](std::size_t k,
+                                const EvaluatorWorkspace::EvalBlockScratch& blk,
+                                std::size_t r0) -> std::size_t {
+    const double base = k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
+    std::size_t r = r0;
+    for (std::size_t i = k + 1; i < n; ++i, ++r) {
+      if (base > 0.0) {
+        const double p = blk.q[r] * base;
+        if (p > 0.0) {
+          ws.accum[i] += blk.a[r] < 0.0 ? p * ws.expm1_wc[i] : p * blk.a[r] * blk.b[r];
+          ws.sum_prob[i] += p;
+        }
+      }
+    }
+    return r;
+  };
+
   const std::size_t eval_threads = std::min(parallel.threads, n);
   if (eval_threads <= 1) {
+    EvaluatorWorkspace::EvalBlockScratch& blk = serial_blk;
+    blk.recovered_at.assign(n, -1);
+    blk.dfs_stack.clear();
+    blk.dfs_stack.reserve(n);
     for (std::size_t k = 0; k < n; ++k) {
-      // P(Z^{k+1}_k) = 1 - sum over earlier failure positions (property B).
+      // In the serial order base is already final before pass k starts,
+      // so a dead pass (probability mass exhausted, or k == n-1 with no
+      // later tasks) can skip staging entirely: only L^k_k is still
+      // needed, and the skipped DFS epoch marks are never read again.
       const double base =
           k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
-      double span = 0.0;  // S^i_k = sum_{k<j<i} (L^j_k + w_j + delta_j c_j)
-      for (std::size_t i = k; i < n; ++i) {
-        const double lost = lost_work(i, static_cast<std::int32_t>(k), ws.recovered_at,
-                                      ws.dfs_stack);
-        if (i == k) {
-          ws.self_loss[k] = lost;  // L^k_k, needed by every E[X_k | Z^k_*]
-          continue;
-        }
-        if (base > 0.0) {
-          const double p = std::exp(-lambda * span) * base;
-          if (p > 0.0) {
-            ws.accum[i] += lost == 0.0
-                               ? p * ws.expm1_wc[i]
-                               : p * std::exp(-lambda * lost) *
-                                     std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
-            ws.sum_prob[i] += p;
-          }
-        }
-        span += lost + ws.work[i] + ws.ckpt[i];
+      if (base == 0.0) {
+        ws.self_loss[k] =
+            lost_work(k, static_cast<std::int32_t>(k), blk.recovered_at, blk.dfs_stack);
+        continue;
       }
+      stage_pass(k, blk, 0);
+      combine_pass(k, blk, 0);
     }
   } else {
     // Parallel k-blocks. Everything a pass computes except the final
@@ -246,31 +346,7 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
       blk.dfs_stack.clear();
       blk.dfs_stack.reserve(n);
       std::size_t r = 0;
-      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) {
-        double span = 0.0;
-        for (std::size_t i = k; i < n; ++i) {
-          const double lost =
-              lost_work(i, static_cast<std::int32_t>(k), blk.recovered_at, blk.dfs_stack);
-          if (i == k) {
-            ws.self_loss[k] = lost;  // disjoint per k: blocks never overlap
-            continue;
-          }
-          const double q = std::exp(-lambda * span);
-          blk.q[r] = q;
-          if (lost == 0.0) {
-            blk.a[r] = -1.0;  // sentinel: combine reuses the memoized expm1_wc[i]
-            blk.b[r] = 0.0;
-          } else if (q > 0.0) {
-            blk.a[r] = std::exp(-lambda * lost);
-            blk.b[r] = std::expm1(lambda * (lost + ws.work[i] + ws.ckpt[i]));
-          } else {
-            blk.a[r] = 0.0;  // q == 0 forces p == 0; never read
-            blk.b[r] = 0.0;
-          }
-          ++r;
-          span += lost + ws.work[i] + ws.ckpt[i];
-        }
-      }
+      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) r = stage_pass(k, blk, r);
     };
     if (parallel.pool != nullptr) {
       TaskGroup group(*parallel.pool);
@@ -289,20 +365,7 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
     for (std::size_t bi = 0; bi < block_count; ++bi) {
       const EvaluatorWorkspace::EvalBlockScratch& blk = ws.blocks[bi];
       std::size_t r = 0;
-      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) {
-        const double base =
-            k + 1 < n ? std::clamp(1.0 - ws.sum_prob[k + 1], 0.0, 1.0) : 0.0;
-        for (std::size_t i = k + 1; i < n; ++i, ++r) {
-          if (base > 0.0) {
-            const double p = blk.q[r] * base;
-            if (p > 0.0) {
-              ws.accum[i] +=
-                  blk.a[r] < 0.0 ? p * ws.expm1_wc[i] : p * blk.a[r] * blk.b[r];
-              ws.sum_prob[i] += p;
-            }
-          }
-        }
-      }
+      for (std::size_t k = blk.k_begin; k < blk.k_end; ++k) r = combine_pass(k, blk, r);
     }
   }
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/failure_model.hpp"
+#include "core/math_kernels.hpp"
 #include "core/schedule.hpp"
 #include "workflows/task_graph.hpp"
 
@@ -79,6 +80,11 @@ struct EvalParallel {
   /// are spawned per evaluation — fine for benches, expensive inside a
   /// sweep's inner loop.
   ThreadPool* pool = nullptr;
+  /// Transcendental backend for the batched sweeps (see math_kernels.hpp).
+  /// `exact` (the default) is bit-identical to the historical element-wise
+  /// libm output; `fast` trades <= 4 ulp per kernel call for throughput
+  /// and is still deterministic for any thread count.
+  EvalMath math = EvalMath::exact;
 };
 
 /// Contiguous k-block partition of [0, n) into at most `blocks` ranges,
@@ -97,12 +103,17 @@ class EvaluatorWorkspace {
  private:
   friend class ScheduleEvaluator;
 
-  /// Private scratch of one k-block of a parallel evaluation: the DFS
+  /// Private scratch of one k-block of a parallel evaluation — and, via
+  /// `pass_scratch`, of the per-pass staging of the serial path: the DFS
   /// state plus the densely stored base-independent factors of every
   /// (k, i) pair of the block, in pass order. q = e^{-lambda S^i_k}; for
   /// L^i_k == 0 the combine reuses the memoized expm1_wc[i] (a < 0 is the
   /// sentinel), otherwise a = e^{-lambda L^i_k} and
-  /// b = expm1(lambda (L^i_k + w_i + delta_i c_i)).
+  /// b = expm1(lambda (L^i_k + w_i + delta_i c_i)). Each pass stages its
+  /// kernel arguments into q/a in place and gathers the L > 0 subset into
+  /// the compact lost_idx/arg_a/arg_b triple, so the transcendentals run
+  /// as three batched sweeps per pass (see math_kernels.hpp) instead of
+  /// element-wise libm calls.
   struct EvalBlockScratch {
     std::size_t k_begin = 0;
     std::size_t k_end = 0;
@@ -111,6 +122,9 @@ class EvaluatorWorkspace {
     std::vector<double> q;
     std::vector<double> a;
     std::vector<double> b;
+    std::vector<std::uint32_t> lost_idx;  // record index of each L > 0 entry
+    std::vector<double> arg_a;            // staged L, swept to e^{-lambda L}
+    std::vector<double> arg_b;            // staged expm1 argument, swept in place
   };
 
   std::vector<double> work;        // w by position
@@ -124,9 +138,8 @@ class EvaluatorWorkspace {
   std::vector<double> sum_prob;          // sum over processed k of P(Z^i_k)
   std::vector<double> expm1_wc;          // expm1(lambda (w_i + delta_i c_i))
   std::vector<double> self_loss;         // L^i_i
-  std::vector<std::int32_t> recovered_at;
-  std::vector<std::uint32_t> dfs_stack;
   std::vector<EvalBlockScratch> blocks;  // parallel mode only
+  EvalBlockScratch pass_scratch;         // serial path: one pass at a time
 
   void resize(std::size_t n, std::size_t edges);
 };
@@ -137,6 +150,17 @@ class EvaluatorWorkspace {
 /// workspace or creates one; the Lease returns it on destruction. A
 /// workspace is only ever leased to one task at a time, so the usual
 /// exclusive-use contract of EvaluatorWorkspace holds.
+///
+/// Lifetime contract: every Lease must be destroyed before its pool —
+/// the Lease destructor takes the pool mutex to return the workspace, so
+/// a lease outliving the pool is a use-after-free. In the engine this
+/// holds because leases live only inside pool tasks that are joined
+/// (TaskGroup::wait) before the PoolToken's WorkspacePool dies, but the
+/// ordering is easy to break silently when restructuring teardown; the
+/// pool destructor therefore counts outstanding leases and aborts with a
+/// diagnostic instead of letting the stale unlock corrupt memory. (An
+/// assert would vanish under NDEBUG, which is exactly when the corruption
+/// would go unnoticed.)
 class WorkspacePool {
  public:
   class Lease {
@@ -154,11 +178,14 @@ class WorkspacePool {
     std::unique_ptr<EvaluatorWorkspace> workspace_;
   };
 
+  ~WorkspacePool();
+
   Lease acquire();
 
  private:
   std::mutex mutex_;
   std::vector<std::unique_ptr<EvaluatorWorkspace>> free_;
+  std::size_t outstanding_ = 0;  // leases not yet returned
 };
 
 /// Evaluates schedules for one (task graph, failure model) pair. The
@@ -171,9 +198,11 @@ class ScheduleEvaluator {
   const TaskGraph& graph() const { return *graph_; }
   const FailureModel& model() const { return model_; }
 
-  /// Full evaluation (validates the schedule).
+  /// Full evaluation (validates the schedule). `parallel` selects the
+  /// k-block split and math backend exactly as for expected_makespan.
   Evaluation evaluate(const Schedule& schedule) const;
-  Evaluation evaluate(const Schedule& schedule, EvaluatorWorkspace& ws) const;
+  Evaluation evaluate(const Schedule& schedule, EvaluatorWorkspace& ws,
+                      const EvalParallel& parallel = {}) const;
 
   /// Fast path returning only E[makespan]; used by the heuristic sweeps.
   /// `validate` can be disabled when the caller constructed the schedule

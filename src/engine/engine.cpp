@@ -25,7 +25,8 @@ std::size_t resolve_workers(std::size_t requested) {
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : threads_(resolve_workers(options.threads)),
       instance_cache_(options.instance_cache),
-      eval_threads_(resolve_workers(options.eval_threads)) {}
+      eval_threads_(resolve_workers(options.eval_threads)),
+      eval_math_(options.eval_math) {}
 
 HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace,
                                                   const PoolToken& token) const {
@@ -35,10 +36,11 @@ HeuristicOptions ExperimentEngine::worker_options(EvaluatorWorkspace& workspace,
     // the workspace still serves the sweep's serial bits (non-budgeted
     // strategies, single-candidate paths).
     options.sweep.pool = token.pool;
-    options.sweep.eval = {token.eval_threads, token.pool};
+    options.sweep.eval = {token.eval_threads, token.pool, eval_math_};
     options.sweep.threads = 1;
   } else {
     options.sweep.threads = inner_threads();
+    options.sweep.eval.math = eval_math_;
   }
   options.sweep.workspace = &workspace;  // honored whenever the sweep is serial
   return options;

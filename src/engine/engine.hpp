@@ -58,6 +58,12 @@ struct EngineOptions {
   /// fill the machine; the scenario-saturated path ignores it. Results
   /// are bit-identical for every value.
   std::size_t eval_threads = 1;
+  /// Transcendental backend for every Theorem-3 evaluation this engine
+  /// runs (CLI: --eval-math; HTTP: eval_math). `exact` reproduces the
+  /// historical libm output bit for bit; `fast` opts into the batched
+  /// polynomial kernels (<= 4 ulp per call, see math_kernels.hpp), still
+  /// deterministic across all thread counts.
+  EvalMath eval_math = EvalMath::exact;
 };
 
 /// Shared-pool token handed to workers in nested mode: the inner budget
@@ -149,10 +155,14 @@ class ExperimentEngine {
   /// Resolved EngineOptions::eval_threads (>= 1).
   std::size_t eval_threads() const { return eval_threads_; }
 
+  /// The math backend every evaluation of this engine uses.
+  EvalMath eval_math() const { return eval_math_; }
+
  private:
   std::size_t threads_;
   bool instance_cache_;
   std::size_t eval_threads_;
+  EvalMath eval_math_;
 };
 
 }  // namespace fpsched::engine

@@ -124,7 +124,8 @@ void run_experiment(const Experiment& experiment, const FigureOptions& options,
   const auto [begin, end] = shard_range(specs.size(), shard);
   const ExperimentEngine engine({.threads = options.threads,
                                  .instance_cache = options.instance_cache,
-                                 .eval_threads = options.eval_threads});
+                                 .eval_threads = options.eval_threads,
+                                 .eval_math = options.eval_math});
 
   // Level 1: every scenario result as a record, in flattened order —
   // streamed live through the engine's ordered callback, so a record

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/math_kernels.hpp"
 #include "engine/result_sink.hpp"
 #include "engine/scenario.hpp"
 
@@ -43,6 +44,10 @@ struct FigureOptions {
   /// Share materialized instances across the scenarios of a figure
   /// (--no-instance-cache disables it; results are identical either way).
   bool instance_cache = true;
+  /// Evaluator math backend (--eval-math / eval_math query param):
+  /// `exact` (default, bit-identical to libm) or `fast` (batched
+  /// polynomial kernels, <= 4 ulp per call — see math_kernels.hpp).
+  EvalMath eval_math = EvalMath::exact;
   /// Fixed workflow size for the sweep figures (fig7's lambda sweep, the
   /// downtime sweep); the size-axis figures ignore it.
   std::size_t tasks = 200;

@@ -93,6 +93,8 @@ JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
       request.options.threads = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "eval_threads") {
       request.options.eval_threads = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "eval_math") {
+      request.options.eval_math = parse_eval_math(value);
     } else if (key == "tasks") {
       const std::uint64_t tasks = parse_u64(key, value);
       if (tasks < 1) bad_value(key, value, "a task count >= 1");
@@ -111,8 +113,8 @@ JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
     } else {
       throw InvalidArgument(
           "unknown parameter '" + key +
-          "' (known: experiment, sizes, stride, seed, weight_cv, threads, eval_threads, tasks, "
-          "downtimes, quick, instance_cache)");
+          "' (known: experiment, sizes, stride, seed, weight_cv, threads, eval_threads, "
+          "eval_math, tasks, downtimes, quick, instance_cache)");
     }
   }
   if (request.experiment.empty()) {

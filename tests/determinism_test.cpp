@@ -89,6 +89,47 @@ TEST(DeterminismAudit, Fig2BytesInvariantAcrossThreadCombinations) {
   }
 }
 
+TEST(DeterminismAudit, ExplicitExactMathMatchesDefaultBytes) {
+  // eval_math = exact is the default spelled out; requesting it must not
+  // perturb a single byte (the kernel layer routes through the same libm
+  // call sequence).
+  FigureOptions options = audit_options();
+  options.threads = 1;
+  const std::string implicit = run_ndjson("fig2", options);
+  options.eval_math = EvalMath::exact;
+  EXPECT_EQ(implicit, run_ndjson("fig2", options));
+}
+
+TEST(DeterminismAudit, FastMathIsThreadInvariantToo) {
+  // The fast backend trades cross-host byte stability for speed, but
+  // within one process the determinism contract is unchanged: threads,
+  // eval-threads and the instance cache must not move a byte.
+  FigureOptions baseline = audit_options();
+  baseline.eval_math = EvalMath::fast;
+  FigureOptions serial_options = baseline;
+  serial_options.threads = 1;
+  const std::string serial = run_ndjson("fig2", serial_options);
+  ASSERT_FALSE(serial.empty());
+  const struct {
+    std::size_t threads;
+    std::size_t eval_threads;
+    bool instance_cache;
+  } combos[] = {
+      {4, 1, true},
+      {1, 4, true},
+      {64, 3, false},
+  };
+  for (const auto& combo : combos) {
+    FigureOptions options = baseline;
+    options.threads = combo.threads;
+    options.eval_threads = combo.eval_threads;
+    options.instance_cache = combo.instance_cache;
+    EXPECT_EQ(serial, run_ndjson("fig2", options))
+        << "threads=" << combo.threads << " eval_threads=" << combo.eval_threads
+        << " cache=" << combo.instance_cache;
+  }
+}
+
 TEST(DeterminismAudit, HonorsFpschedThreadsEnvDefault) {
   const FigureOptions baseline = audit_options();
   FigureOptions serial_options = baseline;

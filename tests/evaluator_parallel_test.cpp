@@ -180,6 +180,39 @@ TEST(EvaluatorParallel, ThreadCountBeyondTasksAndTinyGraphs) {
   }
 }
 
+TEST(EvaluatorParallel, FastMathBackendIsBitIdenticalAcrossModes) {
+  // The staged sweeps feed the same argument arrays to the kernel in the
+  // serial and k-blocked paths, and the combine replays the serial
+  // accumulation order — so bit-identity across thread counts must hold
+  // for the fast backend exactly as it does for exact.
+  const TaskGraph graph = generate_cybershake(
+      {.task_count = 120, .seed = 3, .cost_model = CostModel::proportional(0.1)});
+  const ScheduleEvaluator evaluator(graph, FailureModel(1e-3, 30.0));
+  Rng rng(17);
+  ThreadPool pool(3);
+  for (int rep = 0; rep < 3; ++rep) {
+    const Schedule schedule = random_schedule(graph, rng, 0.3);
+    EvaluatorWorkspace serial_ws;
+    const double serial = evaluator.expected_makespan(schedule, serial_ws, true,
+                                                      {.math = EvalMath::fast});
+    for (const std::size_t threads : {2u, 4u, 7u}) {
+      EvaluatorWorkspace ws;
+      EXPECT_EQ(serial, evaluator.expected_makespan(schedule, ws, true,
+                                                    {.threads = threads, .math = EvalMath::fast}))
+          << "eval-threads " << threads << " (transient)";
+      EXPECT_EQ(serial,
+                evaluator.expected_makespan(
+                    schedule, ws, true,
+                    {.threads = threads, .pool = &pool, .math = EvalMath::fast}))
+          << "eval-threads " << threads << " (pooled)";
+    }
+    // Sanity: fast tracks exact closely even though the bits differ.
+    EvaluatorWorkspace exact_ws;
+    assert_rel_near(evaluator.expected_makespan(schedule, exact_ws), serial, 1e-10,
+                    "fast vs exact");
+  }
+}
+
 TEST(EvaluatorParallel, WorkspaceReuseAcrossModes) {
   // One workspace, alternating serial and parallel evaluations of
   // different schedules: stale block scratch must never leak into the

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "core/failure_model.hpp"
@@ -266,6 +267,41 @@ TEST(Evaluator, WorkspaceReuseIsIdempotent) {
   EXPECT_DOUBLE_EQ(a1, a2);
   EXPECT_DOUBLE_EQ(b1, b2);
   EXPECT_NE(a1, b1);
+}
+
+TEST(WorkspacePool, LeasesAreExclusiveAndRecycled) {
+  WorkspacePool pool;
+  EvaluatorWorkspace* first = nullptr;
+  EvaluatorWorkspace* second = nullptr;
+  {
+    WorkspacePool::Lease a = pool.acquire();
+    WorkspacePool::Lease b = pool.acquire();
+    first = &a.get();
+    second = &b.get();
+    EXPECT_NE(first, second);  // concurrent leases never share a workspace
+  }
+  {
+    // Returned workspaces are recycled (LIFO — `a` is returned last,
+    // so it comes back first), keeping warmed buffers instead of
+    // re-allocating.
+    WorkspacePool::Lease lease = pool.acquire();
+    EXPECT_EQ(first, &lease.get());
+  }
+}
+
+TEST(WorkspacePoolDeathTest, AbortsWhenALeaseOutlivesThePool) {
+  // The Lease destructor takes the pool mutex, so a lease that outlives
+  // its pool is a use-after-free. The pool destructor turns that silent
+  // corruption into a loud abort (see the lifetime contract in the
+  // header); this pins the diagnostic down as a regression test.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto pool = std::make_unique<WorkspacePool>();
+        WorkspacePool::Lease lease = pool->acquire();
+        pool.reset();  // dies with the lease still outstanding
+      },
+      "outstanding");
 }
 
 TEST(Evaluator, RejectsInvalidSchedules) {

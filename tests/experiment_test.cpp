@@ -10,8 +10,12 @@
 #include <sstream>
 #include <vector>
 
+#include "core/evaluator.hpp"
+#include "core/evaluator_naive.hpp"
 #include "engine/result_sink.hpp"
+#include "heuristics/heuristic.hpp"
 #include "support/error.hpp"
+#include "test_util.hpp"
 
 namespace fpsched::engine {
 namespace {
@@ -20,11 +24,12 @@ namespace {
 
 TEST(ExperimentRegistryTest, GlobalRegistryKnowsThePaperFigures) {
   ExperimentRegistry& registry = ExperimentRegistry::global();
-  for (const std::string name : {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "downtime"}) {
+  for (const std::string name :
+       {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "downtime", "theory"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_EQ(registry.find(name).name, name);
   }
-  EXPECT_GE(registry.experiments().size(), 7u);
+  EXPECT_GE(registry.experiments().size(), 8u);
   // Only the sweep figures consume --tasks/--downtimes; the shims use
   // this to keep strict CLIs on the size-axis binaries.
   EXPECT_TRUE(registry.find("fig7").sweep_options);
@@ -104,6 +109,44 @@ TEST(ExperimentFiguresTest, DowntimeSweepRejectsNegativeDowntimes) {
 }
 
 // --- Shard partitioning ------------------------------------------------
+
+TEST(ExperimentFiguresTest, TheoryBuildsFourFixedSizePanels) {
+  const FigurePlan plan = ExperimentRegistry::global().find("theory").build({});
+  ASSERT_EQ(plan.panels.size(), 4u);
+  for (const PanelSpec& panel : plan.panels) {
+    // Fixed small sizes, independent of --sizes: the grid must stay
+    // replayable by the exhaustive Algorithm-1 cross-check below.
+    EXPECT_EQ(panel.grid.sizes, (std::vector<std::size_t>{20, 26, 32}));
+    EXPECT_DOUBLE_EQ(panel.grid.downtime, 1.0);
+    EXPECT_FALSE(panel.grid.policies.empty());
+  }
+  EXPECT_NE(plan.notes.find("theory_fork_test"), std::string::npos);
+}
+
+TEST(ExperimentFiguresTest, TheoryGridCellsMatchAlgorithmOne) {
+  // Theorem 3, cell by cell: every schedule the theory grid evaluates
+  // must agree with the literal Algorithm-1 transcription to 1e-9. The
+  // grid's sizes (<= 32) keep the naive O(n^3) replay in tier-1 time.
+  const FigurePlan plan = ExperimentRegistry::global().find("theory").build({});
+  std::size_t checked = 0;
+  for (const PlannedScenario& planned : flatten_plan(plan)) {
+    const ScenarioSpec& spec = planned.spec;
+    const TaskGraph graph = spec.instantiate();
+    const ScheduleEvaluator evaluator(graph, spec.model);
+    HeuristicOptions options;
+    options.linearize = spec.linearize;
+    options.sweep.stride = spec.stride;
+    // The DF member of each policy (every strategy considers it); the
+    // engine's best-lin selection only picks among such runs.
+    const HeuristicResult run = run_heuristic(
+        evaluator, {LinearizeMethod::depth_first, spec.policy.strategy}, options);
+    fpsched::testing::assert_rel_near(evaluate_reference(graph, spec.model, run.schedule),
+                                      run.evaluation.expected_makespan, 1e-9,
+                                      spec.label().c_str());
+    ++checked;
+  }
+  EXPECT_GE(checked, 4u * 3u);  // 4 kinds x 3 sizes x strategies
+}
 
 TEST(ShardSpecTest, ParsesWellFormedSpecs) {
   const ShardSpec whole = ShardSpec::parse("1/1");

@@ -33,6 +33,7 @@ TEST(ParseJobRequestTest, MapsTheFigureOptionsSurface) {
                                                 {"weight_cv", "0.5"},
                                                 {"threads", "2"},
                                                 {"eval_threads", "4"},
+                                                {"eval_math", "fast"},
                                                 {"tasks", "123"},
                                                 {"downtimes", "0,60"},
                                                 {"instance_cache", "false"}});
@@ -43,6 +44,7 @@ TEST(ParseJobRequestTest, MapsTheFigureOptionsSurface) {
   EXPECT_DOUBLE_EQ(request.options.weight_cv, 0.5);
   EXPECT_EQ(request.options.threads, 2u);
   EXPECT_EQ(request.options.eval_threads, 4u);
+  EXPECT_EQ(request.options.eval_math, EvalMath::fast);
   EXPECT_EQ(request.options.tasks, 123u);
   EXPECT_EQ(request.options.downtimes, (std::vector<double>{0, 60}));
   EXPECT_FALSE(request.options.instance_cache);
@@ -74,6 +76,8 @@ TEST(ParseJobRequestTest, RejectsBadRequests) {
                InvalidArgument);
   EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"quick", "maybe"}}),
                InvalidArgument);
+  EXPECT_THROW(parse_job_request({{"experiment", "fig2"}, {"eval_math", "float"}}),
+               InvalidArgument);  // backend names are exact | fast only
 }
 
 TEST(ParseFlatJsonTest, ParsesScalarsAndScalarArrays) {
