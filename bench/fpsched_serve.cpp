@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   cli.add_option("max-jobs", "64",
                  "max runs held in memory (queued + running + finished); further submissions "
                  "are rejected with 429");
+  cli.add_option("max-task-count", "1000000",
+                 "largest per-instance task count a run may request; bigger grid sizes are "
+                 "rejected with 400 (instance memory is O(tasks), this caps it)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const std::size_t port = cli.get_count("port");
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
     options.http.port = static_cast<std::uint16_t>(port);
     options.http.threads = cli.get_count("threads", 1);
     options.jobs.max_jobs = cli.get_count("max-jobs", 1);
+    options.jobs.max_task_count = cli.get_count("max-task-count", 1);
 
     ignore_sigpipe();
     // Block the shutdown signals before any thread exists so every

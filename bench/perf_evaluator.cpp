@@ -25,12 +25,16 @@
 // against the serial value of its backend, and every fast measurement
 // asserts 1e-10 relative agreement with exact — a perf run that silently
 // diverged would be worthless.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -74,7 +78,34 @@ struct BenchRow {
   std::size_t evals = 0;         // total across all repeats
   std::size_t repeats = 0;
   double expected_makespan = 0.0;
+
+  /// Instance-scale provenance ("generate"/"linearize" rows only): which
+  /// workflow was instantiated, its edge count, the bytes the frozen
+  /// instance holds, and the process peak RSS right after the row ran.
+  struct InstanceInfo {
+    std::string workflow;
+    std::size_t edges = 0;
+    std::size_t instance_bytes = 0;
+    double peak_rss_mb = 0.0;
+  };
+  std::optional<InstanceInfo> instance;
 };
+
+/// Lowercased workflow tag ("genome"), matching the schema/CLI spelling
+/// rather than the display name to_string produces ("Genome").
+std::string workflow_tag(WorkflowKind kind) {
+  std::string tag = to_string(kind);
+  std::transform(tag.begin(), tag.end(), tag.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return tag;
+}
+
+/// Process peak resident set in MB (ru_maxrss is KB on Linux).
+double peak_rss_mb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 struct Measurement {
   double median_ns = 0.0;
@@ -148,9 +179,16 @@ std::string to_json(const std::vector<BenchRow>& rows) {
            ",\"ns_per_eval_min\":" + json_number(row.ns_per_eval_min) +
            ",\"evals\":" + std::to_string(row.evals) +
            ",\"repeats\":" + std::to_string(row.repeats) +
-           ",\"expected_makespan\":" + json_number(row.expected_makespan) + "}";
+           ",\"expected_makespan\":" + json_number(row.expected_makespan);
+    if (row.instance) {
+      out += ",\"workflow\":\"" + row.instance->workflow +
+             "\",\"edges\":" + std::to_string(row.instance->edges) +
+             ",\"instance_bytes\":" + std::to_string(row.instance->instance_bytes) +
+             ",\"peak_rss_mb\":" + json_number(row.instance->peak_rss_mb);
+    }
+    out += "}";
   }
-  out += "]}";
+  out += "],\"peak_rss_mb\":" + json_number(peak_rss_mb()) + "}";
   return out;
 }
 
@@ -181,6 +219,19 @@ int main(int argc, char** argv) {
   cli.add_option("repeats", "3", "independent samples per measurement (median reported)");
   cli.add_option("max-evals", "10000", "hard cap on evaluations per repeat");
   cli.add_option("out", "BENCH_evaluator.json", "output JSON path (empty = stdout only)");
+  cli.add_option("instance-sizes", "10000",
+                 "task counts for the generate/linearize instance-scale rows (empty disables "
+                 "them)");
+  cli.add_option("instance-workflow", "genome",
+                 "workflow the instance-scale rows instantiate (montage|ligo|cybershake|"
+                 "genome)");
+  cli.add_option("max-instance-seconds", "0",
+                 "budget: fail when one generate + linearize(DF,BF,RF) pass (fastest repeat) "
+                 "takes longer than this many seconds (0 = no budget)");
+  cli.add_option("max-instance-rss-mb", "0",
+                 "budget: fail when process peak RSS exceeds this after the instance rows "
+                 "(0 = no budget)");
+  cli.add_flag("instance-only", "run only the instance-scale rows (skip evaluator strategies)");
   cli.add_flag("quick", "small sizes + short sampling for a smoke run");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -215,6 +266,31 @@ int main(int argc, char** argv) {
       naive_max = std::min<std::size_t>(naive_max, 50);
     }
 
+    std::vector<std::size_t> instance_sizes;
+    if (!cli.get_string("instance-sizes").empty()) {
+      for (const auto s : cli.get_int_list("instance-sizes")) {
+        if (s < 1) throw InvalidArgument("option --instance-sizes: task counts must be >= 1");
+        instance_sizes.push_back(static_cast<std::size_t>(s));
+      }
+    }
+    WorkflowKind instance_kind = WorkflowKind::genome;
+    {
+      const std::string name = cli.get_string("instance-workflow");
+      bool known = false;
+      for (const WorkflowKind kind : all_workflow_kinds()) {
+        if (workflow_tag(kind) == name) {
+          instance_kind = kind;
+          known = true;
+        }
+      }
+      if (!known) {
+        throw InvalidArgument("option --instance-workflow: unknown workflow '" + name + "'");
+      }
+    }
+    const double max_instance_seconds = cli.get_double("max-instance-seconds");
+    const double max_instance_rss_mb = cli.get_double("max-instance-rss-mb");
+    if (cli.get_flag("instance-only")) sizes.clear();
+
     std::vector<BenchRow> rows;
     for (const std::size_t n : sizes) {
       const Fixture fixture(n);
@@ -227,7 +303,7 @@ int main(int argc, char** argv) {
       double exact_serial_value = 0.0;
       double fast_serial_value = 0.0;
       for (const EvalMath math : backends) {
-        BenchRow serial{n, "serial", to_string(math), 1, 0.0, 0.0, 0, repeats, 0.0};
+        BenchRow serial{n, "serial", to_string(math), 1, 0.0, 0.0, 0, repeats, 0.0, std::nullopt};
         const Measurement m =
             measure(repeats, min_time_ms, max_evals, serial.expected_makespan, [&] {
               return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false,
@@ -258,7 +334,7 @@ int main(int argc, char** argv) {
           // the TaskGroup wait, exactly like an engine worker would.
           ThreadPool pool(threads - 1);
           const EvalParallel parallel{threads, &pool, math};
-          BenchRow row{n, "kblock", to_string(math), threads, 0.0, 0.0, 0, repeats, 0.0};
+          BenchRow row{n, "kblock", to_string(math), threads, 0.0, 0.0, 0, repeats, 0.0, std::nullopt};
           const Measurement km =
               measure(repeats, min_time_ms, max_evals, row.expected_makespan, [&] {
                 return evaluator.expected_makespan(fixture.schedule, ws, /*validate=*/false,
@@ -278,7 +354,7 @@ int main(int argc, char** argv) {
       }
 
       if (naive_max > 0 && n <= naive_max) {
-        BenchRow naive{n, "algorithm1", "exact", 1, 0.0, 0.0, 0, repeats, 0.0};
+        BenchRow naive{n, "algorithm1", "exact", 1, 0.0, 0.0, 0, repeats, 0.0, std::nullopt};
         const Measurement nm =
             measure(repeats, min_time_ms, /*max_evals=*/5, naive.expected_makespan, [&] {
               return evaluate_reference(fixture.graph, fixture.model, fixture.schedule);
@@ -288,6 +364,63 @@ int main(int argc, char** argv) {
         naive.evals = nm.evals;
         rows.push_back(naive);
         log_row(naive, exact_serial_ns);
+      }
+    }
+
+    // Instance-scale rows: how long one whole-instance generate and one
+    // DF+BF+RF linearization pass take, and what the frozen SoA instance
+    // costs in memory — the provenance trail for the 10^6-task layer.
+    for (const std::size_t n : instance_sizes) {
+      const GeneratorConfig config{.task_count = n, .seed = 5,
+                                   .cost_model = CostModel::proportional(0.1)};
+      TaskGraph instance;
+
+      BenchRow gen{n, "generate", "exact", 1, 0.0, 0.0, 0, repeats, 0.0, std::nullopt};
+      double unused = 0.0;
+      const Measurement gm = measure(repeats, min_time_ms, max_evals, unused, [&] {
+        instance = generate_workflow(instance_kind, config);
+        return 0.0;
+      });
+      gen.ns_per_eval = gm.median_ns;
+      gen.ns_per_eval_min = gm.min_ns;
+      gen.evals = gm.evals;
+      gen.instance = BenchRow::InstanceInfo{workflow_tag(instance_kind),
+                                            instance.dag().edge_count(),
+                                            instance.memory_bytes(), peak_rss_mb()};
+      rows.push_back(gen);
+      log_row(gen, 0.0);
+
+      BenchRow lin{n, "linearize", "exact", 1, 0.0, 0.0, 0, repeats, 0.0, std::nullopt};
+      LinearizeWorkspace lws;
+      std::vector<VertexId> order;
+      const std::span<const double> weights = instance.weights_view();
+      const Measurement lm = measure(repeats, min_time_ms, max_evals, unused, [&] {
+        linearize_into(instance.dag(), weights, LinearizeMethod::depth_first, {}, lws, order);
+        linearize_into(instance.dag(), weights, LinearizeMethod::breadth_first, {}, lws, order);
+        linearize_into(instance.dag(), weights, LinearizeMethod::random_first, {}, lws, order);
+        return 0.0;
+      });
+      lin.ns_per_eval = lm.median_ns;
+      lin.ns_per_eval_min = lm.min_ns;
+      lin.evals = lm.evals;
+      lin.instance = BenchRow::InstanceInfo{workflow_tag(instance_kind),
+                                            instance.dag().edge_count(),
+                                            instance.memory_bytes(), peak_rss_mb()};
+      rows.push_back(lin);
+      log_row(lin, 0.0);
+
+      if (max_instance_seconds > 0.0) {
+        const double pass_seconds = (gm.min_ns + lm.min_ns) * 1e-9;
+        if (pass_seconds > max_instance_seconds) {
+          throw Error("instance budget exceeded: generate + linearize at n=" +
+                      std::to_string(n) + " took " + format_double(pass_seconds, 2) +
+                      " s (budget " + format_double(max_instance_seconds, 2) + " s)");
+        }
+      }
+      if (max_instance_rss_mb > 0.0 && peak_rss_mb() > max_instance_rss_mb) {
+        throw Error("instance budget exceeded: peak RSS " + format_double(peak_rss_mb(), 1) +
+                    " MB after n=" + std::to_string(n) + " (budget " +
+                    format_double(max_instance_rss_mb, 1) + " MB)");
       }
     }
 

@@ -124,12 +124,16 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
 
   // --- Reindex everything into position space. -------------------------
   for (std::size_t i = 0; i < n; ++i) ws.position[schedule.order[i]] = static_cast<std::uint32_t>(i);
+  // Gather straight from the SoA task arrays into position space.
+  const std::span<const double> weights = graph_->weights_view();
+  const std::span<const double> ckpt_costs = graph_->ckpt_costs_view();
+  const std::span<const double> recovery_costs = graph_->recovery_costs_view();
   for (std::size_t i = 0; i < n; ++i) {
     const VertexId v = schedule.order[i];
-    ws.work[i] = graph_->weight(v);
+    ws.work[i] = weights[v];
     ws.flag[i] = schedule.checkpointed[v];
-    ws.ckpt[i] = ws.flag[i] ? graph_->ckpt_cost(v) : 0.0;
-    ws.recovery[i] = graph_->recovery_cost(v);
+    ws.ckpt[i] = ws.flag[i] ? ckpt_costs[v] : 0.0;
+    ws.recovery[i] = recovery_costs[v];
   }
   // Predecessor CSR in position space.
   for (std::size_t i = 0; i < n; ++i) {

@@ -4,13 +4,18 @@
 #include <queue>
 #include <string>
 
+#include "dag/sp_tree.hpp"
 #include "support/error.hpp"
 
 namespace fpsched {
 
 DagBuilder::DagBuilder(std::size_t expected_vertices) {
-  edges_.reserve(expected_vertices * 2);
-  vertex_count_ = 0;
+  reserve(expected_vertices, expected_vertices * 2);
+}
+
+void DagBuilder::reserve(std::size_t /*vertices*/, std::size_t edges) {
+  edge_from_.reserve(edges);
+  edge_to_.reserve(edges);
 }
 
 VertexId DagBuilder::add_vertex() { return add_vertices(1); }
@@ -26,51 +31,77 @@ void DagBuilder::add_edge(VertexId from, VertexId to) {
   if (from >= vertex_count_ || to >= vertex_count_)
     throw GraphError("edge (" + std::to_string(from) + "," + std::to_string(to) +
                      ") references an unknown vertex");
-  edges_.emplace_back(from, to);
+  edge_from_.push_back(from);
+  edge_to_.push_back(to);
 }
 
 Dag DagBuilder::build() && {
-  return Dag::from_edges(vertex_count_, edges_);
+  return Dag::freeze(vertex_count_, std::move(edge_from_), std::move(edge_to_));
 }
 
 Dag Dag::from_edges(std::size_t n, std::span<const std::pair<VertexId, VertexId>> raw_edges) {
+  std::vector<VertexId> edge_from;
+  std::vector<VertexId> edge_to;
+  edge_from.reserve(raw_edges.size());
+  edge_to.reserve(raw_edges.size());
   for (const auto& [u, v] : raw_edges) {
     if (u == v) throw GraphError("self loop on vertex " + std::to_string(u));
     if (u >= n || v >= n)
       throw GraphError("edge (" + std::to_string(u) + "," + std::to_string(v) +
                        ") references an unknown vertex");
+    edge_from.push_back(u);
+    edge_to.push_back(v);
   }
-  std::vector<std::pair<VertexId, VertexId>> edges(raw_edges.begin(), raw_edges.end());
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return freeze(n, std::move(edge_from), std::move(edge_to));
+}
 
+Dag Dag::freeze(std::size_t n, std::vector<VertexId> edge_from, std::vector<VertexId> edge_to) {
   Dag dag;
-  dag.pred_offsets_.assign(n + 1, 0);
+
+  // Counting sort by source: one count pass, one scatter pass. Rows come
+  // out in emission order; duplicates survive until the per-row dedup.
   dag.succ_offsets_.assign(n + 1, 0);
-  for (const auto& [u, v] : edges) {
-    ++dag.succ_offsets_[u + 1];
-    ++dag.pred_offsets_[v + 1];
+  for (const VertexId u : edge_from) ++dag.succ_offsets_[u + 1];
+  for (std::size_t i = 0; i < n; ++i) dag.succ_offsets_[i + 1] += dag.succ_offsets_[i];
+
+  dag.succ_list_.resize(edge_from.size());
+  std::vector<std::uint32_t> fill(dag.succ_offsets_.begin(),
+                                  dag.succ_offsets_.end() - (n ? 1 : 0));
+  for (std::size_t i = 0; i < edge_from.size(); ++i) {
+    dag.succ_list_[fill[edge_from[i]]++] = edge_to[i];
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    dag.pred_offsets_[i + 1] += dag.pred_offsets_[i];
-    dag.succ_offsets_[i + 1] += dag.succ_offsets_[i];
-  }
-  dag.pred_list_.resize(edges.size());
-  dag.succ_list_.resize(edges.size());
-  {
-    std::vector<std::uint32_t> pred_fill(dag.pred_offsets_.begin(), dag.pred_offsets_.end() - 1);
-    std::vector<std::uint32_t> succ_fill(dag.succ_offsets_.begin(), dag.succ_offsets_.end() - 1);
-    for (const auto& [u, v] : edges) {
-      dag.succ_list_[succ_fill[u]++] = v;
-      dag.pred_list_[pred_fill[v]++] = u;
+  // The emission-order arrays are dead from here; release them before the
+  // second CSR so peak memory stays at one copy of the edge set.
+  edge_from = {};
+  edge_to = {};
+
+  // Per-row sort + dedup, compacting the list in place (the write cursor
+  // never passes the read cursor because rows only shrink).
+  std::uint32_t write = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t begin = dag.succ_offsets_[v];
+    const std::uint32_t end = dag.succ_offsets_[v + 1];
+    std::sort(dag.succ_list_.begin() + begin, dag.succ_list_.begin() + end);
+    dag.succ_offsets_[v] = write;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      if (i == begin || dag.succ_list_[i] != dag.succ_list_[i - 1]) {
+        dag.succ_list_[write++] = dag.succ_list_[i];
+      }
     }
   }
-  // Rows come out sorted because the edge list was sorted (succ rows by
-  // construction; pred rows need a per-row sort since edges were sorted by
-  // source first).
-  for (std::size_t v = 0; v < n; ++v) {
-    std::sort(dag.pred_list_.begin() + dag.pred_offsets_[v],
-              dag.pred_list_.begin() + dag.pred_offsets_[v + 1]);
+  if (n > 0) dag.succ_offsets_[n] = write;
+  dag.succ_list_.resize(write);
+  dag.succ_list_.shrink_to_fit();
+
+  // Predecessor CSR from the deduplicated successor CSR. Scanning sources
+  // in ascending order leaves every predecessor row already sorted.
+  dag.pred_offsets_.assign(n + 1, 0);
+  for (const VertexId w : dag.succ_list_) ++dag.pred_offsets_[w + 1];
+  for (std::size_t i = 0; i < n; ++i) dag.pred_offsets_[i + 1] += dag.pred_offsets_[i];
+  dag.pred_list_.resize(write);
+  if (n > 0) fill.assign(dag.pred_offsets_.begin(), dag.pred_offsets_.end() - 1);
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
+    for (const VertexId w : dag.successors(u)) dag.pred_list_[fill[w]++] = u;
   }
 
   // Kahn's algorithm, smallest ready id first: deterministic topological
@@ -91,6 +122,14 @@ Dag Dag::from_edges(std::size_t n, std::span<const std::pair<VertexId, VertexId>
     }
   }
   if (dag.topo_order_.size() != n) throw GraphError("graph contains a cycle");
+
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    if (dag.in_degree(v) == 0) dag.sources_.push_back(v);
+    if (dag.out_degree(v) == 0) dag.sinks_.push_back(v);
+  }
+
+  dag.series_parallel_ = detail::csr_is_series_parallel(n, dag.succ_offsets_, dag.succ_list_,
+                                                        dag.sources_, dag.sinks_);
   return dag;
 }
 
@@ -102,23 +141,17 @@ std::span<const VertexId> Dag::successors(VertexId v) const {
   return {succ_list_.data() + succ_offsets_[v], succ_list_.data() + succ_offsets_[v + 1]};
 }
 
-std::vector<VertexId> Dag::sources() const {
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < vertex_count(); ++v)
-    if (in_degree(v) == 0) out.push_back(v);
-  return out;
-}
-
-std::vector<VertexId> Dag::sinks() const {
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < vertex_count(); ++v)
-    if (out_degree(v) == 0) out.push_back(v);
-  return out;
-}
-
 bool Dag::has_edge(VertexId from, VertexId to) const {
   const auto row = successors(from);
   return std::binary_search(row.begin(), row.end(), to);
+}
+
+std::size_t Dag::memory_bytes() const {
+  return pred_offsets_.capacity() * sizeof(std::uint32_t) +
+         pred_list_.capacity() * sizeof(VertexId) +
+         succ_offsets_.capacity() * sizeof(std::uint32_t) +
+         succ_list_.capacity() * sizeof(VertexId) + topo_order_.capacity() * sizeof(VertexId) +
+         sources_.capacity() * sizeof(VertexId) + sinks_.capacity() * sizeof(VertexId);
 }
 
 }  // namespace fpsched

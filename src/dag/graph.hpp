@@ -17,12 +17,21 @@ using VertexId = std::uint32_t;
 
 class Dag;
 
-/// Mutable edge-list accumulator; `build()` validates (vertex ranges,
+/// Streaming edge accumulator; `build()` validates (vertex ranges,
 /// duplicate edges, acyclicity) and freezes into a Dag.
+///
+/// Edges are stored as two parallel id arrays in emission order — no
+/// pair-vector staging, no global sort. The freeze counting-sorts them
+/// into CSR and deduplicates per row, so building a million-task graph
+/// costs O(n + e) time and exactly the arrays you see here. Call
+/// `reserve()` up front when the counts are known to avoid regrowth.
 class DagBuilder {
  public:
   DagBuilder() = default;
   explicit DagBuilder(std::size_t expected_vertices);
+
+  /// Pre-sizes the edge arrays for a known instance shape.
+  void reserve(std::size_t vertices, std::size_t edges);
 
   /// Adds one vertex, returning its id (ids are consecutive from 0).
   VertexId add_vertex();
@@ -35,14 +44,15 @@ class DagBuilder {
   void add_edge(VertexId from, VertexId to);
 
   std::size_t vertex_count() const { return vertex_count_; }
-  std::size_t edge_count() const { return edges_.size(); }
+  std::size_t edge_count() const { return edge_from_.size(); }
 
   /// Validates and freezes. Throws GraphError on cycles.
   Dag build() &&;
 
  private:
   std::size_t vertex_count_ = 0;
-  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<VertexId> edge_from_;
+  std::vector<VertexId> edge_to_;
 };
 
 /// Frozen DAG with CSR adjacency in both directions and a cached
@@ -61,10 +71,10 @@ class Dag {
   std::size_t in_degree(VertexId v) const { return predecessors(v).size(); }
   std::size_t out_degree(VertexId v) const { return successors(v).size(); }
 
-  /// Vertices with no predecessors, ascending by id.
-  std::vector<VertexId> sources() const;
-  /// Vertices with no successors, ascending by id.
-  std::vector<VertexId> sinks() const;
+  /// Vertices with no predecessors, ascending by id (computed at freeze).
+  std::span<const VertexId> sources() const { return sources_; }
+  /// Vertices with no successors, ascending by id (computed at freeze).
+  std::span<const VertexId> sinks() const { return sinks_; }
 
   /// A fixed, deterministic topological order (smallest id first among
   /// ready vertices).
@@ -73,17 +83,38 @@ class Dag {
   /// True if the edge `from -> to` exists (binary search on CSR row).
   bool has_edge(VertexId from, VertexId to) const;
 
+  /// True when the DAG (augmented with a virtual source/sink if it has
+  /// several) is two-terminal series-parallel; classified at freeze by the
+  /// sp_tree reduction. `sp_decompose` yields the actual tree.
+  bool is_series_parallel() const { return series_parallel_; }
+
+  /// Raw successor CSR (offsets has vertex_count() + 1 entries); exposed
+  /// for analyses that stream the whole adjacency, e.g. sp_tree.
+  std::span<const std::uint32_t> successor_offsets() const { return succ_offsets_; }
+  std::span<const VertexId> successor_list() const { return succ_list_; }
+
+  /// Heap bytes held by the frozen representation (provenance for the
+  /// instance-memory bench rows).
+  std::size_t memory_bytes() const;
+
   /// Builds a Dag directly from an edge list over `n` vertices.
   static Dag from_edges(std::size_t n, std::span<const std::pair<VertexId, VertexId>> edges);
 
  private:
   friend class DagBuilder;
 
+  /// Shared freeze core: consumes parallel from/to arrays in emission
+  /// order and produces the fully validated Dag.
+  static Dag freeze(std::size_t n, std::vector<VertexId> edge_from, std::vector<VertexId> edge_to);
+
   std::vector<std::uint32_t> pred_offsets_;
   std::vector<VertexId> pred_list_;
   std::vector<std::uint32_t> succ_offsets_;
   std::vector<VertexId> succ_list_;
   std::vector<VertexId> topo_order_;
+  std::vector<VertexId> sources_;
+  std::vector<VertexId> sinks_;
+  bool series_parallel_ = true;  // empty DAG is trivially SP
 };
 
 }  // namespace fpsched

@@ -43,6 +43,19 @@ std::string to_string(LinearizeMethod method);
 /// All three methods in the paper's order.
 std::span<const LinearizeMethod> all_linearize_methods();
 
+/// Scratch arena for `linearize_into`. Buffers are resized on use and keep
+/// their capacity across calls, so linearizing the same instance (or a
+/// sweep of same-sized instances) repeatedly allocates nothing after the
+/// first call. Holding one per worker (as the engine's instance cache
+/// does) removes per-step container churn from the hot path.
+struct LinearizeWorkspace {
+  std::vector<double> priority;         // DF/BF outweight per vertex
+  std::vector<std::uint32_t> remaining;  // open predecessor count per vertex
+  std::vector<std::uint32_t> batch;      // enable-wave sequence number per vertex
+  std::vector<VertexId> heap;            // DF/BF d-ary heap storage
+  std::vector<VertexId> ready;           // RF ready pool
+};
+
 /// Produces a linearization of `dag` under the given strategy.
 ///
 /// DF: among ready tasks, continue with the most recently enabled ones
@@ -53,5 +66,12 @@ std::span<const LinearizeMethod> all_linearize_methods();
 /// RF: uniformly random ready task, using options.seed.
 std::vector<VertexId> linearize(const Dag& dag, std::span<const double> weights,
                                 LinearizeMethod method, const LinearizeOptions& options = {});
+
+/// Allocation-free variant: writes the order into `out` (resized to n)
+/// using `ws` for every intermediate buffer. Output is identical to
+/// `linearize` for every method, seed, and tie-break case.
+void linearize_into(const Dag& dag, std::span<const double> weights, LinearizeMethod method,
+                    const LinearizeOptions& options, LinearizeWorkspace& ws,
+                    std::vector<VertexId>& out);
 
 }  // namespace fpsched

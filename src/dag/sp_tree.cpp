@@ -1,0 +1,210 @@
+#include "dag/sp_tree.hpp"
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace fpsched {
+
+namespace {
+
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+// Reduction state over an edge arena. Edges are appended, never erased;
+// a removed edge is simply unlinked from its endpoint lists and from the
+// endpoint->edge map, so indices stay stable throughout.
+struct Reducer {
+  // Per-edge storage (parallel arrays — the reduction touches from/to and
+  // the four links on every rewrite, so SoA keeps it cache friendly).
+  std::vector<VertexId> from, to;
+  std::vector<std::uint32_t> node;  // SP-tree node per edge; unused in bool-only mode
+  std::vector<std::uint32_t> next_out, prev_out, next_in, prev_in;
+
+  // Per-vertex list heads and degrees (sized n + 2 for virtual terminals).
+  std::vector<std::uint32_t> out_head, in_head;
+  std::vector<std::uint32_t> out_deg, in_deg;
+
+  // Alive edges keyed by (from << 32) | to; detects parallel partners in
+  // O(1) regardless of endpoint degree (a linked-list scan would go
+  // quadratic on star-shaped graphs).
+  std::unordered_map<std::uint64_t, std::uint32_t> by_endpoints;
+
+  std::vector<SpNode>* tree = nullptr;  // nullptr = bool-only mode
+
+  // Vertices whose degrees changed and may now be series-reducible.
+  std::vector<VertexId> worklist;
+
+  static std::uint64_t key(VertexId u, VertexId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  void init(std::size_t vertex_capacity, std::size_t edge_capacity) {
+    from.reserve(edge_capacity);
+    to.reserve(edge_capacity);
+    if (tree) node.reserve(edge_capacity);
+    next_out.reserve(edge_capacity);
+    prev_out.reserve(edge_capacity);
+    next_in.reserve(edge_capacity);
+    prev_in.reserve(edge_capacity);
+    out_head.assign(vertex_capacity, kNil);
+    in_head.assign(vertex_capacity, kNil);
+    out_deg.assign(vertex_capacity, 0);
+    in_deg.assign(vertex_capacity, 0);
+    by_endpoints.reserve(edge_capacity);
+  }
+
+  std::uint32_t make_node(SpKind kind, VertexId u, VertexId v, std::uint32_t left,
+                          std::uint32_t right) {
+    if (!tree) return kNil;
+    tree->push_back({kind, u, v, left, right});
+    return static_cast<std::uint32_t>(tree->size() - 1);
+  }
+
+  // Adds edge (u, v) carrying SP-tree node `n`. If an alive edge with the
+  // same endpoints exists this is a CombineParallel: the existing edge
+  // absorbs the new branch and no degree changes.
+  void add(VertexId u, VertexId v, std::uint32_t n) {
+    const auto [it, inserted] = by_endpoints.try_emplace(key(u, v), 0);
+    if (!inserted) {
+      const std::uint32_t survivor = it->second;
+      if (tree) node[survivor] = make_node(SpKind::parallel, u, v, node[survivor], n);
+      return;
+    }
+    const std::uint32_t e = static_cast<std::uint32_t>(from.size());
+    it->second = e;
+    from.push_back(u);
+    to.push_back(v);
+    if (tree) node.push_back(n);
+    next_out.push_back(out_head[u]);
+    prev_out.push_back(kNil);
+    if (out_head[u] != kNil) prev_out[out_head[u]] = e;
+    out_head[u] = e;
+    next_in.push_back(in_head[v]);
+    prev_in.push_back(kNil);
+    if (in_head[v] != kNil) prev_in[in_head[v]] = e;
+    in_head[v] = e;
+    ++out_deg[u];
+    ++in_deg[v];
+  }
+
+  void unlink(std::uint32_t e) {
+    const VertexId u = from[e];
+    const VertexId v = to[e];
+    if (prev_out[e] != kNil) next_out[prev_out[e]] = next_out[e];
+    else out_head[u] = next_out[e];
+    if (next_out[e] != kNil) prev_out[next_out[e]] = prev_out[e];
+    if (prev_in[e] != kNil) next_in[prev_in[e]] = next_in[e];
+    else in_head[v] = next_in[e];
+    if (next_in[e] != kNil) prev_in[next_in[e]] = prev_in[e];
+    --out_deg[u];
+    --in_deg[v];
+    by_endpoints.erase(key(u, v));
+  }
+
+  // Exhaustively applies CombineSeries (with CombineParallel folded into
+  // `add`) at every vertex except the two terminals.
+  void run(VertexId source_id, VertexId sink_id) {
+    while (!worklist.empty()) {
+      const VertexId v = worklist.back();
+      worklist.pop_back();
+      if (v == source_id || v == sink_id) continue;
+      if (in_deg[v] != 1 || out_deg[v] != 1) continue;
+      const std::uint32_t ein = in_head[v];
+      const std::uint32_t eout = out_head[v];
+      const VertexId u = from[ein];
+      const VertexId w = to[eout];
+      const std::uint32_t merged =
+          tree ? make_node(SpKind::series, u, w, node[ein], node[eout]) : kNil;
+      unlink(ein);
+      unlink(eout);
+      add(u, w, merged);
+      // A parallel merge at (u, w) lowers u's out-degree / w's in-degree,
+      // which can enable series reductions there.
+      worklist.push_back(u);
+      worklist.push_back(w);
+    }
+  }
+};
+
+// Shared driver: seeds the reducer from CSR adjacency, augments virtual
+// terminals when needed, runs the reduction, and reports the outcome.
+// Returns true when the (augmented) graph reduced to a single edge.
+bool reduce(std::size_t n, std::span<const std::uint32_t> succ_offsets,
+            std::span<const VertexId> succ_list, std::span<const VertexId> sources,
+            std::span<const VertexId> sinks, Reducer& r, bool* used_virtual,
+            std::uint32_t* root_out) {
+  if (n <= 1) {
+    if (used_virtual) *used_virtual = false;
+    if (root_out) *root_out = kNil;
+    return true;
+  }
+
+  const bool virtual_source = sources.size() != 1;
+  const bool virtual_sink = sinks.size() != 1;
+  const VertexId s = virtual_source ? static_cast<VertexId>(n) : sources[0];
+  const VertexId t = virtual_sink ? static_cast<VertexId>(n + 1) : sinks[0];
+  if (used_virtual) *used_virtual = virtual_source || virtual_sink;
+
+  const std::size_t base_edges = succ_list.size();
+  const std::size_t extra = (virtual_source ? sources.size() : 0) +
+                            (virtual_sink ? sinks.size() : 0);
+  // Every series reduction retires two edges and adds at most one, so the
+  // arena never holds more than the initial edges plus one per vertex.
+  r.init(n + 2, base_edges + extra + n);
+
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
+    for (std::uint32_t i = succ_offsets[u]; i < succ_offsets[u + 1]; ++i) {
+      const VertexId v = succ_list[i];
+      r.add(u, v, r.make_node(SpKind::edge, u, v, kNil, kNil));
+    }
+  }
+  if (virtual_source) {
+    for (const VertexId v : sources) r.add(s, v, r.make_node(SpKind::edge, s, v, kNil, kNil));
+  }
+  if (virtual_sink) {
+    for (const VertexId v : sinks) r.add(v, t, r.make_node(SpKind::edge, v, t, kNil, kNil));
+  }
+
+  r.worklist.reserve(n);
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) r.worklist.push_back(v);
+  r.run(s, t);
+
+  if (r.by_endpoints.size() != 1) return false;
+  if (root_out) {
+    const std::uint32_t last = r.by_endpoints.begin()->second;
+    *root_out = r.tree ? r.node[last] : kNil;
+  }
+  return true;
+}
+
+}  // namespace
+
+SpDecomposition sp_decompose(const Dag& dag) {
+  const std::size_t n = dag.vertex_count();
+  std::span<const std::uint32_t> offsets = dag.successor_offsets();
+  std::span<const VertexId> list = dag.successor_list();
+
+  SpDecomposition result;
+  Reducer r;
+  r.tree = &result.nodes;
+  result.is_series_parallel = reduce(n, offsets, list, dag.sources(), dag.sinks(), r,
+                                     &result.virtual_terminals, &result.root);
+  if (!result.is_series_parallel) {
+    result.root = kSpNoChild;
+    result.nodes.clear();
+    result.nodes.shrink_to_fit();
+  }
+  return result;
+}
+
+namespace detail {
+
+bool csr_is_series_parallel(std::size_t n, std::span<const std::uint32_t> succ_offsets,
+                            std::span<const VertexId> succ_list,
+                            std::span<const VertexId> sources, std::span<const VertexId> sinks) {
+  Reducer r;
+  return reduce(n, succ_offsets, succ_list, sources, sinks, r, nullptr, nullptr);
+}
+
+}  // namespace detail
+
+}  // namespace fpsched

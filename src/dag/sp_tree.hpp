@@ -1,0 +1,70 @@
+// Series-parallel structure detection and decomposition.
+//
+// A two-terminal DAG is series-parallel (SP) when it reduces to a single
+// source->sink edge under two local rewrites: CombineSeries (splice out a
+// vertex with in-degree 1 and out-degree 1) and CombineParallel (merge two
+// edges sharing both endpoints). Multi-source/multi-sink workflow graphs
+// are judged after augmenting with a virtual source/sink, the standard
+// embedding used by SP-DAG analyses. The reduction is bottom-up over the
+// CSR adjacency and runs in O((n + e) * alpha) with a hash map keyed by
+// edge endpoints, so million-task instances classify in well under a
+// second.
+//
+// The Dag freeze path uses the cheap boolean entry point to record
+// `is_series_parallel()`; `sp_decompose` additionally materializes the
+// binary decomposition tree for the future exact-on-SP evaluation path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace fpsched {
+
+inline constexpr std::uint32_t kSpNoChild = 0xffffffffu;
+
+enum class SpKind : std::uint8_t {
+  edge,      // leaf: one DAG edge (possibly to/from a virtual terminal)
+  series,    // left then right, sharing an interior vertex
+  parallel,  // left and right between the same two terminals
+};
+
+/// One node of the binary decomposition tree. `source`/`sink` are the
+/// two terminals of the sub-DAG this node represents; for leaves they are
+/// the edge endpoints. Virtual terminals use ids n (source) and n + 1
+/// (sink) where n is the original vertex count.
+struct SpNode {
+  SpKind kind = SpKind::edge;
+  VertexId source = 0;
+  VertexId sink = 0;
+  std::uint32_t left = kSpNoChild;
+  std::uint32_t right = kSpNoChild;
+};
+
+struct SpDecomposition {
+  bool is_series_parallel = false;
+  /// True when a virtual source and/or sink had to be added (the graph had
+  /// multiple sources or sinks).
+  bool virtual_terminals = false;
+  /// Root node index into `nodes`, or kSpNoChild when not SP (nodes empty).
+  std::uint32_t root = kSpNoChild;
+  std::vector<SpNode> nodes;
+};
+
+/// Runs the full reduction and returns the decomposition tree. For non-SP
+/// graphs `is_series_parallel` is false and `nodes` is empty.
+SpDecomposition sp_decompose(const Dag& dag);
+
+namespace detail {
+
+/// Boolean-only reduction over raw CSR data, used by the Dag freeze path
+/// before the Dag object exists. `succ_offsets` has n + 1 entries.
+bool csr_is_series_parallel(std::size_t n, std::span<const std::uint32_t> succ_offsets,
+                            std::span<const VertexId> succ_list,
+                            std::span<const VertexId> sources, std::span<const VertexId> sinks);
+
+}  // namespace detail
+
+}  // namespace fpsched

@@ -32,7 +32,11 @@ const std::vector<VertexId>& InstanceCache::order(LinearizeMethod method) {
   ensure(index < orders_.size(), "unknown linearization method");
   std::optional<std::vector<VertexId>>& slot = orders_[index];
   if (!slot) {
-    slot = linearize(graph_.dag(), graph_.weights(), method, key_.linearize);
+    // The SoA weight span feeds the linearizer directly; the workspace
+    // persists across the (up to three) methods this cache memoizes.
+    slot.emplace();
+    linearize_into(graph_.dag(), graph_.weights_view(), method, key_.linearize,
+                   linearize_workspace_, *slot);
   }
   return *slot;
 }

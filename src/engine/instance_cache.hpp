@@ -72,6 +72,7 @@ class InstanceCache {
   CostModel applied_;
   std::array<std::optional<std::vector<VertexId>>, 3> orders_;
   EvaluatorWorkspace workspace_;
+  LinearizeWorkspace linearize_workspace_;
 };
 
 }  // namespace fpsched::engine

@@ -69,8 +69,7 @@ std::vector<std::uint8_t> place_checkpoints(const TaskGraph& graph,
         return graph.ckpt_cost(a) < graph.ckpt_cost(b);  // cheapest checkpoints first
       });
     case CkptStrategy::by_outweight: {
-      const std::vector<double> weights = graph.weights();
-      const std::vector<double> out = direct_outweights(graph.dag(), weights);
+      const std::vector<double> out = direct_outweights(graph.dag(), graph.weights_view());
       return top_n_flags(n, budget, [&](VertexId a, VertexId b) {
         return out[a] > out[b];  // heaviest successor sets first
       });

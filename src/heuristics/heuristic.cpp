@@ -30,9 +30,8 @@ std::vector<HeuristicSpec> budgeted_heuristics() {
 HeuristicResult run_heuristic(const ScheduleEvaluator& evaluator, const HeuristicSpec& spec,
                               const HeuristicOptions& options) {
   const TaskGraph& graph = evaluator.graph();
-  const std::vector<double> weights = graph.weights();
   const std::vector<VertexId> order =
-      linearize(graph.dag(), weights, spec.linearization, options.linearize);
+      linearize(graph.dag(), graph.weights_view(), spec.linearization, options.linearize);
   return run_heuristic(evaluator, spec, order, options);
 }
 

@@ -36,6 +36,11 @@ std::uint64_t JobManager::submit(JobRequest request) {
   std::size_t total = 0;
   for (const engine::PanelSpec& panel : plan.panels) {
     panel.grid.validate();
+    for (const std::size_t size : panel.grid.sizes) {
+      ensure(size <= options_.max_task_count,
+             "requested instance of " + std::to_string(size) + " tasks exceeds the server's " +
+                 "--max-task-count ceiling of " + std::to_string(options_.max_task_count));
+    }
     total += panel.grid.scenario_count();
   }
 

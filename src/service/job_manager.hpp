@@ -64,6 +64,11 @@ struct JobManagerOptions {
   /// Executor threads. 1 serializes jobs — usually right, since each
   /// job saturates the machine through the engine's own sharding.
   std::size_t executors = 1;
+  /// Largest per-instance task count a request may ask for. Instance
+  /// memory is O(tasks + edges), so without a ceiling one untrusted
+  /// POST /runs asking for a huge grid size could OOM the server. The
+  /// default admits the 10^6-task instances the layer is built for.
+  std::size_t max_task_count = 1'000'000;
 };
 
 class JobManager {

@@ -29,7 +29,7 @@ void save_workflow(std::ostream& os, const TaskGraph& graph) {
   os << "tasks " << graph.task_count() << '\n';
   os.precision(std::numeric_limits<double>::max_digits10);
   for (VertexId v = 0; v < graph.task_count(); ++v) {
-    const Task& t = graph.task(v);
+    const Task t = graph.task(v);
     os << v << ' ' << (t.name.empty() ? "task" + std::to_string(v) : t.name) << ' '
        << (t.type.empty() ? "generic" : t.type) << ' ' << t.weight << ' ' << t.ckpt_cost << ' '
        << t.recovery_cost << '\n';

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <utility>
-#include <vector>
 
 #include "dag/graph.hpp"
 #include "support/error.hpp"
@@ -15,42 +15,46 @@ namespace fpsched::detail {
 
 /// Accumulates vertices with typed, gamma-distributed weights and freezes
 /// into a TaskGraph with the configured cost model applied.
+///
+/// Streams straight into TaskGraphBuilder: types are interned once, task
+/// names are never materialized (the SoA TaskGraph synthesizes
+/// "<type>_<id>" on demand — the exact scheme this class used to store),
+/// and edges go to the arena-backed DagBuilder. The weight draw per `add`
+/// is unchanged, so generator RNG call order — and therefore every figure
+/// byte — is preserved.
 class WorkflowAssembler {
  public:
   WorkflowAssembler(const GeneratorConfig& config, std::string workflow_name)
-      : config_(config), rng_(config.seed), name_(std::move(workflow_name)) {}
+      : config_(config), rng_(config.seed), name_(std::move(workflow_name)) {
+    builder_.reserve(config.task_count, config.task_count * 2);
+  }
 
   /// Adds a task of `type` with weight drawn around `mean_weight`.
-  VertexId add(const std::string& type, double mean_weight) {
-    const VertexId id = builder_.add_vertex();
-    Task task;
-    task.type = type;
-    task.name = type + "_" + std::to_string(id);
-    task.weight = config_.weight_cv == 0.0 ? mean_weight
-                                           : rng_.gamma_mean_cv(mean_weight, config_.weight_cv);
-    tasks_.push_back(std::move(task));
-    return id;
+  VertexId add(std::string_view type, double mean_weight) {
+    const double weight = config_.weight_cv == 0.0
+                              ? mean_weight
+                              : rng_.gamma_mean_cv(mean_weight, config_.weight_cv);
+    return builder_.add_task(builder_.intern_type(type), weight);
   }
 
   void edge(VertexId from, VertexId to) { builder_.add_edge(from, to); }
 
   Rng& rng() { return rng_; }
 
-  std::size_t task_count() const { return tasks_.size(); }
+  std::size_t task_count() const { return builder_.task_count(); }
 
   TaskGraph finish() {
-    ensure(tasks_.size() == config_.task_count,
-           name_ + " generator produced " + std::to_string(tasks_.size()) + " tasks, expected " +
-               std::to_string(config_.task_count));
-    TaskGraph graph(std::move(builder_).build(), std::move(tasks_));
+    ensure(builder_.task_count() == config_.task_count,
+           name_ + " generator produced " + std::to_string(builder_.task_count()) +
+               " tasks, expected " + std::to_string(config_.task_count));
+    TaskGraph graph = std::move(builder_).finish();
     graph.apply_cost_model(config_.cost_model);
     return graph;
   }
 
  private:
   GeneratorConfig config_;
-  DagBuilder builder_;
-  std::vector<Task> tasks_;
+  TaskGraphBuilder builder_;
   Rng rng_;
   std::string name_;
 };

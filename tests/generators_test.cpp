@@ -194,6 +194,60 @@ TEST(Generators, MinimumTaskCountsEnforced) {
   }
 }
 
+// --- scale invariants ---------------------------------------------------
+
+/// Invariants that must hold at any size: exact task count, acyclicity
+/// (the topological order covers every vertex), positive weights, and the
+/// type table round-trip (type(v) is the interned string for type_id(v),
+/// names synthesize as "<type>_<id>").
+void expect_instance_invariants(const TaskGraph& graph, std::size_t count) {
+  ASSERT_EQ(graph.task_count(), count);
+  EXPECT_EQ(graph.dag().topological_order().size(), count);
+  EXPECT_EQ(graph.weights_view().size(), count);
+  EXPECT_EQ(graph.type_ids().size(), count);
+  TypeTable types = graph.types();  // copy: intern() below must not mutate the graph
+  EXPECT_GE(types.size(), 1u);
+  for (VertexId v = 0; v < count; ++v) {
+    EXPECT_GT(graph.weight(v), 0.0);
+    const TypeId id = graph.type_id(v);
+    ASSERT_LT(id, types.size());
+    EXPECT_FALSE(types.name(id).empty());
+    // Round-trip: interning the stored name again must yield the same id.
+    EXPECT_EQ(types.intern(types.name(id)), id);
+  }
+  // Synthesized names follow the "<type>_<id>" scheme (sampled: name()
+  // builds a fresh string per call).
+  for (const VertexId v : {VertexId{0}, static_cast<VertexId>(count / 2),
+                           static_cast<VertexId>(count - 1)}) {
+    EXPECT_EQ(graph.name(v), graph.type(v) + "_" + std::to_string(v));
+  }
+  EXPECT_GT(graph.memory_bytes(), 0u);
+}
+
+class GeneratorScaleInvariants : public ::testing::TestWithParam<WorkflowKind> {};
+
+TEST_P(GeneratorScaleInvariants, MinimumSize) {
+  const WorkflowKind kind = GetParam();
+  const std::size_t minimum = minimum_task_count(kind);
+  expect_instance_invariants(generate_workflow(kind, {.task_count = minimum, .seed = 1}),
+                             minimum);
+}
+
+TEST_P(GeneratorScaleInvariants, HundredThousandTasks) {
+  const WorkflowKind kind = GetParam();
+  constexpr std::size_t kCount = 100'000;
+  const TaskGraph graph = generate_workflow(kind, {.task_count = kCount, .seed = 9});
+  expect_instance_invariants(graph, kCount);
+  // SoA storage: the whole instance (CSR + weights + costs + type ids)
+  // must stay within ~120 bytes/task — the budget that makes 10^6 tasks
+  // fit in well under 2 GB.
+  EXPECT_LT(graph.memory_bytes(), kCount * 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GeneratorScaleInvariants,
+                         ::testing::ValuesIn(all_workflow_kinds().begin(),
+                                             all_workflow_kinds().end()));
+
 TEST(Generators, CostModelIsApplied) {
   const TaskGraph graph = generate_cybershake(
       {.task_count = 60, .seed = 2, .cost_model = CostModel::constant(5.0)});

@@ -44,8 +44,10 @@ TEST(Dag, DiamondAdjacency) {
 
 TEST(Dag, SourcesAndSinks) {
   const Dag dag = diamond();
-  EXPECT_EQ(dag.sources(), std::vector<VertexId>{0});
-  EXPECT_EQ(dag.sinks(), std::vector<VertexId>{3});
+  const auto sources = dag.sources();
+  const auto sinks = dag.sinks();
+  EXPECT_EQ(std::vector<VertexId>(sources.begin(), sources.end()), std::vector<VertexId>{0});
+  EXPECT_EQ(std::vector<VertexId>(sinks.begin(), sinks.end()), std::vector<VertexId>{3});
 }
 
 TEST(Dag, HasEdge) {

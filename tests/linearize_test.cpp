@@ -3,12 +3,139 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+#include <random>
+
 #include "dag/traversal.hpp"
 #include "workflows/generator.hpp"
 #include "workflows/synthetic.hpp"
 
 namespace fpsched {
 namespace {
+
+// --- reference implementation ------------------------------------------
+//
+// The historic DF/BF algorithms, kept here as the oracle for the heap
+// rewrite: DF keeps the ready set on an explicit stack (newly enabled
+// tasks sorted by decreasing priority, pushed so the best is on top); BF
+// keeps it in a FIFO of enabling waves. `linearize` must reproduce these
+// orders exactly, including the ascending-id tie-break.
+
+std::vector<VertexId> reference_linearize(const Dag& dag, std::span<const double> weights,
+                                          LinearizeMethod method,
+                                          const LinearizeOptions& options) {
+  const std::size_t n = dag.vertex_count();
+  const std::vector<double> priority = options.outweight == OutweightMode::direct
+                                           ? direct_outweights(dag, weights)
+                                           : descendant_outweights(dag, weights);
+  const auto before = [&](VertexId a, VertexId b) {
+    if (priority[a] != priority[b]) return priority[a] > priority[b];
+    return a < b;
+  };
+  std::vector<std::uint32_t> remaining(n);
+  std::vector<VertexId> initial;
+  for (VertexId v = 0; v < n; ++v) {
+    remaining[v] = static_cast<std::uint32_t>(dag.in_degree(v));
+    if (remaining[v] == 0) initial.push_back(v);
+  }
+  std::sort(initial.begin(), initial.end(), before);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<VertexId> enabled;
+  if (method == LinearizeMethod::depth_first) {
+    std::vector<VertexId> stack(initial.rbegin(), initial.rend());
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      enabled.clear();
+      for (const VertexId s : dag.successors(v)) {
+        if (--remaining[s] == 0) enabled.push_back(s);
+      }
+      std::sort(enabled.begin(), enabled.end(), before);
+      stack.insert(stack.end(), enabled.rbegin(), enabled.rend());
+    }
+  } else {
+    std::deque<VertexId> queue(initial.begin(), initial.end());
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      enabled.clear();
+      for (const VertexId s : dag.successors(v)) {
+        if (--remaining[s] == 0) enabled.push_back(s);
+      }
+      std::sort(enabled.begin(), enabled.end(), before);
+      queue.insert(queue.end(), enabled.begin(), enabled.end());
+    }
+  }
+  return order;
+}
+
+/// Random layered DAG with integer weights (small range, to force
+/// priority ties and exercise the id tie-break) and occasional
+/// layer-skipping edges.
+std::pair<Dag, std::vector<double>> random_layered_dag(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const std::size_t layers = 3 + rng() % 5;
+  std::vector<std::vector<VertexId>> layer(layers);
+  DagBuilder builder;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::size_t width = 1 + rng() % 8;
+    for (std::size_t i = 0; i < width; ++i) layer[l].push_back(builder.add_vertex());
+  }
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (const VertexId v : layer[l]) {
+      // One mandatory parent in the previous layer, then a few random
+      // extras from any earlier layer (duplicates exercise CSR dedup).
+      builder.add_edge(layer[l - 1][rng() % layer[l - 1].size()], v);
+      const std::size_t extras = rng() % 3;
+      for (std::size_t i = 0; i < extras; ++i) {
+        const std::size_t from_layer = rng() % l;
+        builder.add_edge(layer[from_layer][rng() % layer[from_layer].size()], v);
+      }
+    }
+  }
+  Dag dag = std::move(builder).build();
+  std::vector<double> weights(dag.vertex_count());
+  for (double& w : weights) w = 1.0 + static_cast<double>(rng() % 4);
+  return {std::move(dag), std::move(weights)};
+}
+
+TEST(Linearize, MatchesReferenceOnRandomizedDags) {
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    const auto [dag, weights] = random_layered_dag(seed);
+    for (const LinearizeMethod method :
+         {LinearizeMethod::depth_first, LinearizeMethod::breadth_first}) {
+      for (const OutweightMode mode : {OutweightMode::direct, OutweightMode::descendants}) {
+        const LinearizeOptions options{.outweight = mode};
+        const auto got = linearize(dag, weights, method, options);
+        const auto want = reference_linearize(dag, weights, method, options);
+        EXPECT_EQ(got, want) << "seed=" << seed << " method=" << to_string(method)
+                             << " mode=" << static_cast<int>(mode);
+        EXPECT_TRUE(is_valid_linearization(dag, got));
+      }
+    }
+  }
+}
+
+TEST(Linearize, WorkspaceReuseMatchesFreshCalls) {
+  // One workspace carried across differently-sized DAGs and every method
+  // must still produce exactly what fresh `linearize` calls produce.
+  LinearizeWorkspace ws;
+  std::vector<VertexId> out;
+  for (std::uint32_t seed = 20; seed <= 25; ++seed) {
+    const auto [dag, weights] = random_layered_dag(seed);
+    for (const LinearizeMethod method : all_linearize_methods()) {
+      const LinearizeOptions options{.seed = seed};
+      linearize_into(dag, weights, method, options, ws, out);
+      EXPECT_EQ(out, linearize(dag, weights, method, options))
+          << "seed=" << seed << " method=" << to_string(method);
+    }
+  }
+}
 
 TEST(Linearize, NamesAndEnumeration) {
   EXPECT_EQ(to_string(LinearizeMethod::depth_first), "DF");

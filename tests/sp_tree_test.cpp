@@ -1,0 +1,194 @@
+// Tests for series-parallel detection and decomposition (dag/sp_tree).
+#include "dag/sp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workflows/generator.hpp"
+#include "workflows/synthetic.hpp"
+
+namespace fpsched {
+namespace {
+
+Dag make_dag(std::size_t n, std::initializer_list<std::pair<VertexId, VertexId>> edges) {
+  DagBuilder builder;
+  builder.add_vertices(n);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return std::move(builder).build();
+}
+
+/// Recursively validates the decomposition tree rooted at `index`:
+/// terminals must compose correctly (series chains through a shared
+/// interior vertex, parallel shares both endpoints) and every leaf is a
+/// distinct edge. Returns the number of leaves under `index`.
+std::size_t check_tree(const SpDecomposition& sp, std::uint32_t index,
+                       std::set<std::pair<VertexId, VertexId>>& leaves) {
+  const SpNode& node = sp.nodes.at(index);
+  if (node.kind == SpKind::edge) {
+    EXPECT_EQ(node.left, kSpNoChild);
+    EXPECT_EQ(node.right, kSpNoChild);
+    EXPECT_TRUE(leaves.emplace(node.source, node.sink).second)
+        << "duplicate leaf edge " << node.source << "->" << node.sink;
+    return 1;
+  }
+  const SpNode& left = sp.nodes.at(node.left);
+  const SpNode& right = sp.nodes.at(node.right);
+  if (node.kind == SpKind::series) {
+    EXPECT_EQ(left.sink, right.source);
+    EXPECT_EQ(node.source, left.source);
+    EXPECT_EQ(node.sink, right.sink);
+  } else {  // parallel
+    EXPECT_EQ(left.source, right.source);
+    EXPECT_EQ(left.sink, right.sink);
+    EXPECT_EQ(node.source, left.source);
+    EXPECT_EQ(node.sink, left.sink);
+  }
+  return check_tree(sp, node.left, leaves) + check_tree(sp, node.right, leaves);
+}
+
+/// Full structural check: the tree must cover exactly `expected_edges`
+/// distinct leaf edges (including virtual-terminal edges) and span the
+/// terminals `source`..`sink`.
+void expect_valid_tree(const SpDecomposition& sp, std::size_t expected_edges, VertexId source,
+                       VertexId sink) {
+  ASSERT_TRUE(sp.is_series_parallel);
+  ASSERT_LT(sp.root, sp.nodes.size());
+  std::set<std::pair<VertexId, VertexId>> leaves;
+  EXPECT_EQ(check_tree(sp, sp.root, leaves), expected_edges);
+  EXPECT_EQ(sp.nodes[sp.root].source, source);
+  EXPECT_EQ(sp.nodes[sp.root].sink, sink);
+}
+
+TEST(SpTree, TrivialGraphsAreSeriesParallel) {
+  EXPECT_TRUE(make_dag(0, {}).is_series_parallel());
+  EXPECT_TRUE(make_dag(1, {}).is_series_parallel());
+  const Dag edge = make_dag(2, {{0, 1}});
+  EXPECT_TRUE(edge.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(edge);
+  expect_valid_tree(sp, 1, 0, 1);
+  EXPECT_FALSE(sp.virtual_terminals);
+  EXPECT_EQ(sp.nodes[sp.root].kind, SpKind::edge);
+}
+
+TEST(SpTree, ChainIsSeries) {
+  const Dag chain = make_dag(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(chain.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(chain);
+  expect_valid_tree(sp, 3, 0, 3);
+  EXPECT_FALSE(sp.virtual_terminals);
+  EXPECT_EQ(sp.nodes[sp.root].kind, SpKind::series);
+}
+
+TEST(SpTree, ForkNeedsAVirtualSink) {
+  // 0 -> {1, 2, 3}: three sinks, so the embedding adds virtual sink id 5
+  // (n = 4 gives virtual source 4, virtual sink 5).
+  const Dag fork = make_dag(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_TRUE(fork.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(fork);
+  // 3 real edges + 3 virtual sink edges; terminals are 0 and the virtual
+  // sink.
+  expect_valid_tree(sp, 6, 0, 5);
+  EXPECT_TRUE(sp.virtual_terminals);
+}
+
+TEST(SpTree, JoinNeedsAVirtualSource) {
+  const Dag join = make_dag(4, {{0, 3}, {1, 3}, {2, 3}});
+  EXPECT_TRUE(join.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(join);
+  expect_valid_tree(sp, 6, 4, 3);  // virtual source id n = 4
+  EXPECT_TRUE(sp.virtual_terminals);
+}
+
+TEST(SpTree, DiamondIsParallelOfTwoSeries) {
+  const Dag diamond = make_dag(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_TRUE(diamond.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(diamond);
+  expect_valid_tree(sp, 4, 0, 3);
+  EXPECT_FALSE(sp.virtual_terminals);
+  EXPECT_EQ(sp.nodes[sp.root].kind, SpKind::parallel);
+}
+
+TEST(SpTree, DiamondWithChordIsNotSeriesParallel) {
+  // The Wheatstone bridge / forbidden "N": s->a, s->b, a->b, a->t, b->t.
+  // No vertex has in-degree 1 AND out-degree 1, and no parallel pair
+  // exists, so the reduction stalls immediately.
+  const Dag bridge = make_dag(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_FALSE(bridge.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(bridge);
+  EXPECT_FALSE(sp.is_series_parallel);
+  EXPECT_EQ(sp.root, kSpNoChild);
+  EXPECT_TRUE(sp.nodes.empty());
+}
+
+TEST(SpTree, CyberShakeGadgetIsNotSeriesParallel) {
+  // The CyberShake kernel: extract -> synthesis -> {peak, zipSeis} with
+  // both zip collectors joining across synthesis branches. After the
+  // chains series-reduce, the two branches meet both collectors — a
+  // K_{2,2} between {synthesis1, synthesis2} and {zipSeis, zipPSA},
+  // which embeds the forbidden N.
+  //   0,1 extract; 2,3 synthesis; 4,5 peak; 6 zipSeis; 7 zipPSA
+  const Dag gadget = make_dag(8, {{0, 2},
+                                  {1, 3},
+                                  {2, 4},
+                                  {2, 6},
+                                  {3, 5},
+                                  {3, 6},
+                                  {4, 7},
+                                  {5, 7}});
+  EXPECT_FALSE(gadget.is_series_parallel());
+  EXPECT_FALSE(sp_decompose(gadget).is_series_parallel);
+}
+
+TEST(SpTree, SingleLevelForkJoinIsSeriesParallel) {
+  // source -> 4 parallel tasks -> sink: four series chains in parallel.
+  const TaskGraph fj = make_fork_join(1, 4, 1.0);
+  EXPECT_TRUE(fj.dag().is_series_parallel());
+  const SpDecomposition sp = sp_decompose(fj.dag());
+  expect_valid_tree(sp, fj.dag().edge_count(), 0,
+                    static_cast<VertexId>(fj.task_count() - 1));
+  EXPECT_FALSE(sp.virtual_terminals);
+}
+
+TEST(SpTree, DenseLayeredForkJoinIsNot) {
+  // With >= 2 levels of width >= 2 the levels are completely bipartite
+  // (every task depends on the whole previous level), which embeds the
+  // forbidden N — dense fork-joins are exactly the non-SP workflows the
+  // classifier must reject.
+  const TaskGraph fj = make_fork_join(3, 4, 1.0);
+  EXPECT_FALSE(fj.dag().is_series_parallel());
+  EXPECT_FALSE(sp_decompose(fj.dag()).is_series_parallel);
+}
+
+TEST(SpTree, ParallelEdgesBetweenChainsReduce) {
+  // Two disjoint chains sharing endpoints through virtual terminals:
+  // {0->1, 2->3} reduces to two parallel source->sink edges.
+  const Dag two_chains = make_dag(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(two_chains.is_series_parallel());
+  const SpDecomposition sp = sp_decompose(two_chains);
+  EXPECT_TRUE(sp.virtual_terminals);
+  expect_valid_tree(sp, 6, 4, 5);  // 2 real + 4 virtual edges
+  EXPECT_EQ(sp.nodes[sp.root].kind, SpKind::parallel);
+}
+
+// The boolean recorded at Dag freeze must agree with the full
+// decomposition on every generated workflow family.
+class SpTreeGeneratedWorkflows : public ::testing::TestWithParam<WorkflowKind> {};
+
+TEST_P(SpTreeGeneratedWorkflows, FreezeFlagMatchesDecomposition) {
+  const TaskGraph graph =
+      generate_workflow(GetParam(), {.task_count = 120, .seed = 3});
+  const SpDecomposition sp = sp_decompose(graph.dag());
+  EXPECT_EQ(graph.dag().is_series_parallel(), sp.is_series_parallel);
+  if (sp.is_series_parallel) {
+    std::set<std::pair<VertexId, VertexId>> leaves;
+    check_tree(sp, sp.root, leaves);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SpTreeGeneratedWorkflows,
+                         ::testing::ValuesIn(all_workflow_kinds().begin(),
+                                             all_workflow_kinds().end()));
+
+}  // namespace
+}  // namespace fpsched

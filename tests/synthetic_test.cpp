@@ -91,8 +91,10 @@ TEST(Synthetic, PaperFigure1MatchesThePaper) {
   EXPECT_TRUE(dag.has_edge(4, 6));
   EXPECT_EQ(dag.edge_count(), 7u);
   // Sources T0, T1; sinks T6, T7 — as drawn in the paper.
-  EXPECT_EQ(dag.sources(), (std::vector<VertexId>{0, 1}));
-  EXPECT_EQ(dag.sinks(), (std::vector<VertexId>{6, 7}));
+  const auto sources = dag.sources();
+  const auto sinks = dag.sinks();
+  EXPECT_EQ(std::vector<VertexId>(sources.begin(), sources.end()), (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(std::vector<VertexId>(sinks.begin(), sinks.end()), (std::vector<VertexId>{6, 7}));
 }
 
 TEST(Synthetic, InvalidConfigurations) {

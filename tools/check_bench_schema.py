@@ -23,8 +23,13 @@ FIXTURE_KEYS = {"workflow", "seed", "lambda", "cost_model", "linearization",
                 "checkpoint_every"}
 ROW_KEYS = {"n", "strategy", "math", "threads", "ns_per_eval",
             "ns_per_eval_min", "evals", "repeats", "expected_makespan"}
-STRATEGIES = {"serial", "kblock", "algorithm1"}
+STRATEGIES = {"serial", "kblock", "algorithm1", "generate", "linearize"}
 BACKENDS = {"exact", "fast"}
+# Instance-scale rows (strategy generate/linearize) carry memory/shape
+# provenance for the workflow instance they build.
+INSTANCE_STRATEGIES = {"generate", "linearize"}
+INSTANCE_KEYS = {"workflow", "edges", "instance_bytes", "peak_rss_mb"}
+WORKFLOWS = {"montage", "ligo", "cybershake", "genome"}
 
 
 def fail(message):
@@ -66,6 +71,10 @@ def check_snapshot(data, path):
         fail(f"{path}: compiler must be a non-empty string")
     if not isinstance(data["threads_available"], int) or data["threads_available"] < 0:
         fail(f"{path}: threads_available must be a non-negative integer")
+    if "peak_rss_mb" in data:
+        rss = data["peak_rss_mb"]
+        if not isinstance(rss, (int, float)) or isinstance(rss, bool) or rss < 0:
+            fail(f"{path}: peak_rss_mb must be a non-negative number, got {rss!r}")
     fixture_missing = FIXTURE_KEYS - data["fixture"].keys()
     if fixture_missing:
         fail(f"{path}: fixture is missing {sorted(fixture_missing)}")
@@ -91,6 +100,16 @@ def check_snapshot(data, path):
         check_number(row, "evals", index, minimum=1)
         check_number(row, "repeats", index, minimum=1)
         check_number(row, "expected_makespan", index)
+        if row["strategy"] in INSTANCE_STRATEGIES:
+            missing = INSTANCE_KEYS - row.keys()
+            if missing:
+                fail(f"results[{index}]: instance row missing keys {sorted(missing)}")
+            if row["workflow"] not in WORKFLOWS:
+                fail(f"results[{index}].workflow: {row['workflow']!r} not in "
+                     f"{sorted(WORKFLOWS)}")
+            check_number(row, "edges", index)
+            check_number(row, "instance_bytes", index, minimum=1)
+            check_number(row, "peak_rss_mb", index)
         if row["ns_per_eval_min"] > row["ns_per_eval"]:
             fail(f"results[{index}]: ns_per_eval_min > ns_per_eval (median)")
         key = (row["n"], row["strategy"], row["math"], row["threads"])
