@@ -48,14 +48,14 @@ std::vector<std::size_t> eval_block_boundaries(std::size_t n, std::size_t blocks
 
 WorkspacePool::Lease::~Lease() {
   if (workspace_ != nullptr) {
-    const std::lock_guard<std::mutex> lock(pool_->mutex_);
+    const LockGuard lock(pool_->mutex_);
     pool_->free_.push_back(std::move(workspace_));
     --pool_->outstanding_;
   }
 }
 
 WorkspacePool::~WorkspacePool() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (outstanding_ != 0) {
     // A live Lease would unlock a destroyed mutex and push into a
     // destroyed vector; fail loudly instead (see the header contract).
@@ -70,7 +70,7 @@ WorkspacePool::~WorkspacePool() {
 WorkspacePool::Lease WorkspacePool::acquire() {
   std::unique_ptr<EvaluatorWorkspace> workspace;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (!free_.empty()) {
       workspace = std::move(free_.back());
       free_.pop_back();
@@ -379,10 +379,13 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
     // accum[i] == 0 happens only when every reachable event has zero cost
     // (or its probability underflowed); guard against inf * 0. The
     // self_loss == 0 branch elides e^{lambda * 0} == 1.0 bit-identically.
-    const double xi = ws.accum[i] == 0.0      ? 0.0
-                      : ws.self_loss[i] == 0.0 ? rate_factor * ws.accum[i]
-                                                : std::exp(lambda * ws.self_loss[i]) *
-                                                      rate_factor * ws.accum[i];
+    double xi = 0.0;
+    if (ws.accum[i] != 0.0 && ws.self_loss[i] == 0.0) {
+      xi = rate_factor * ws.accum[i];
+    } else if (ws.accum[i] != 0.0) {
+      // determinism-ok: serial O(n) combine tail, not a pass sweep (staging would cost more)
+      xi = std::exp(lambda * ws.self_loss[i]) * rate_factor * ws.accum[i];
+    }
     if (per_task) (*per_task)[i] = xi;
     total += xi;
   }

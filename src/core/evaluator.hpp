@@ -42,8 +42,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "support/sync.hpp"
 
 #include "core/failure_model.hpp"
 #include "core/math_kernels.hpp"
@@ -183,9 +184,9 @@ class WorkspacePool {
   Lease acquire();
 
  private:
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<EvaluatorWorkspace>> free_;
-  std::size_t outstanding_ = 0;  // leases not yet returned
+  Mutex mutex_;
+  std::vector<std::unique_ptr<EvaluatorWorkspace>> free_ GUARDED_BY(mutex_);
+  std::size_t outstanding_ GUARDED_BY(mutex_) = 0;  // leases not yet returned
 };
 
 /// Evaluates schedules for one (task graph, failure model) pair. The

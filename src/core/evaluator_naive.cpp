@@ -140,12 +140,14 @@ double evaluate_reference(const TaskGraph& graph, const FailureModel& model,
     {
       double span = 0.0;
       for (std::size_t j = 0; j < i; ++j) span += view.w[j] + delta_cost(j);
+      // determinism-ok: paper-faithful O(n^4) reference, intentionally direct libm
       prob[i][0] = std::exp(-lambda * span);
     }
     // 0 <= k < i-1: property A.
     for (std::size_t k = 0; k + 1 < i; ++k) {
       double span = 0.0;
       for (std::size_t j = k + 1; j < i; ++j) span += lost[k][j] + view.w[j] + delta_cost(j);
+      // determinism-ok: paper-faithful O(n^4) reference, intentionally direct libm
       prob[i][k + 1] = std::exp(-lambda * span) * prob[k + 1][k + 1];
     }
     // k = i-1: property B (complement).

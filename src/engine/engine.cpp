@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
-#include <mutex>
 
 #include "support/env.hpp"
 #include "support/error.hpp"
+#include "support/sync.hpp"
 #include "support/threading.hpp"
 
 namespace fpsched::engine {
@@ -157,9 +157,9 @@ class OrderedEmitter {
                  const std::vector<ScenarioResult>& results)
       : on_result_(on_result), results_(results), done_(results.size(), false) {}
 
-  void complete(std::size_t index) {
+  void complete(std::size_t index) EXCLUDES(mutex_) {
     if (!on_result_) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     done_[index] = true;
     while (next_ < done_.size() && done_[next_]) {
       on_result_(next_, results_[next_]);
@@ -170,9 +170,9 @@ class OrderedEmitter {
  private:
   const ExperimentEngine::ResultCallback& on_result_;
   const std::vector<ScenarioResult>& results_;
-  std::vector<char> done_;
-  std::size_t next_ = 0;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::vector<char> done_ GUARDED_BY(mutex_);
+  std::size_t next_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace

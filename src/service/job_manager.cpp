@@ -44,7 +44,7 @@ std::uint64_t JobManager::submit(JobRequest request) {
     total += panel.grid.scenario_count();
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   ensure(!stopping_, "the job manager is shutting down");
   if (jobs_.size() >= options_.max_jobs) {
     throw TooManyJobs("job capacity reached (" + std::to_string(options_.max_jobs) +
@@ -72,7 +72,7 @@ JobStatus JobManager::snapshot_locked(const Job& job) const {
 }
 
 std::optional<JobStatus> JobManager::status(std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   for (const auto& job : jobs_) {
     if (job->id == id) return snapshot_locked(*job);
   }
@@ -80,7 +80,7 @@ std::optional<JobStatus> JobManager::status(std::uint64_t id) const {
 }
 
 std::vector<JobStatus> JobManager::jobs() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::vector<JobStatus> out;
   out.reserve(jobs_.size());
   for (const auto& job : jobs_) out.push_back(snapshot_locked(*job));
@@ -88,13 +88,13 @@ std::vector<JobStatus> JobManager::jobs() const {
 }
 
 std::size_t JobManager::job_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return jobs_.size();
 }
 
 std::optional<JobStatus> JobManager::stream_records(
     std::uint64_t id, const std::function<bool(std::string_view line)>& write) const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   const Job* job = nullptr;
   for (const auto& candidate : jobs_) {
     if (candidate->id == id) {
@@ -109,6 +109,7 @@ std::optional<JobStatus> JobManager::stream_records(
     while (sent < job->lines.size()) {
       // Copy the line out so the (possibly slow) client write happens
       // without blocking the executor appending new records.
+      // NOLINTNEXTLINE(performance-unnecessary-copy-initialization) justification: a reference would dangle across the unlock window
       const std::string line = job->lines[sent];
       ++sent;
       lock.unlock();
@@ -118,14 +119,14 @@ std::optional<JobStatus> JobManager::stream_records(
     }
     const bool terminal = job->state == JobState::completed || job->state == JobState::failed;
     if ((terminal && sent == job->lines.size()) || stopping_) return snapshot_locked(*job);
-    changed_.wait(lock);
+    changed_.wait(lock, mutex_);
   }
 }
 
 void JobManager::executor_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
-    changed_.wait(lock, [this] { return stopping_ || next_queued_ < jobs_.size(); });
+    while (!stopping_ && next_queued_ >= jobs_.size()) changed_.wait(lock, mutex_);
     if (stopping_) return;  // queued jobs are abandoned on shutdown
     Job& job = *jobs_[next_queued_++];
     job.state = JobState::running;
@@ -146,16 +147,16 @@ void JobManager::run_job(Job& job) {
     engine::CallbackSink sink([&](const engine::ResultRecord& record) {
       std::string line = engine::to_json(record);
       line += '\n';
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       job.lines.push_back(std::move(line));
       changed_.notify_all();
     });
     engine::ResultSink* sinks[] = {&sink};
     engine::run_experiment(experiment, job.request.options, sinks, nullptr);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     job.state = JobState::completed;
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     job.state = JobState::failed;
     job.error = e.what();
   }
@@ -163,7 +164,7 @@ void JobManager::run_job(Job& job) {
 
 void JobManager::stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }

@@ -13,11 +13,9 @@
 // `fpsched_run <name> --format ndjson`.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -26,6 +24,7 @@
 
 #include "engine/experiment.hpp"
 #include "support/error.hpp"
+#include "support/sync.hpp"
 
 namespace fpsched::service {
 
@@ -115,21 +114,21 @@ class JobManager {
     std::string error;
   };
 
-  JobStatus snapshot_locked(const Job& job) const;
-  void executor_loop();
-  void run_job(Job& job);
+  JobStatus snapshot_locked(const Job& job) const REQUIRES(mutex_);
+  void executor_loop() EXCLUDES(mutex_);
+  void run_job(Job& job) EXCLUDES(mutex_);
 
   const engine::ExperimentRegistry& registry_;
   Options options_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Signals every state change: new records, state transitions, new
   /// queued jobs, shutdown.
-  mutable std::condition_variable changed_;
-  std::vector<std::unique_ptr<Job>> jobs_;
-  std::uint64_t next_id_ = 1;
-  std::size_t next_queued_ = 0;  // executor cursor into jobs_
-  bool stopping_ = false;
+  mutable CondVar changed_;
+  std::vector<std::unique_ptr<Job>> jobs_ GUARDED_BY(mutex_);
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  std::size_t next_queued_ GUARDED_BY(mutex_) = 0;  // executor cursor into jobs_
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> executors_;
 };
 

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     // A failed spawn (system thread limit) must not leave joinable
     // threads behind — their destructor would terminate the process.
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -43,7 +43,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     ensure(!stopping_, "submit on a stopping pool");
     queue_.push_back({std::move(packaged), nullptr});
   }
@@ -53,7 +53,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::enqueue_ticket(std::shared_ptr<GroupState> group) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     ensure(!stopping_, "TaskGroup::run on a stopping pool");
     queue_.push_back({{}, std::move(group)});
   }
@@ -63,7 +63,7 @@ void ThreadPool::enqueue_ticket(std::shared_ptr<GroupState> group) {
 bool ThreadPool::GroupState::run_one() {
   std::function<void()> task;
   {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const LockGuard lock(mutex);
     if (tasks.empty()) return false;
     task = std::move(tasks.front());
     tasks.pop_front();
@@ -71,7 +71,7 @@ bool ThreadPool::GroupState::run_one() {
   try {
     task();
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const LockGuard lock(mutex);
     if (!error) error = std::current_exception();
   }
   finish_one();
@@ -81,7 +81,7 @@ bool ThreadPool::GroupState::run_one() {
 void ThreadPool::GroupState::finish_one() {
   bool last = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const LockGuard lock(mutex);
     last = --outstanding == 0;
   }
   if (last) done.notify_all();
@@ -91,8 +91,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock, mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -121,7 +121,7 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(state_->mutex);
+    const LockGuard lock(state_->mutex);
     state_->tasks.push_back(std::move(task));
     ++state_->outstanding;
   }
@@ -137,8 +137,8 @@ void TaskGroup::wait() {
   while (state_->run_one()) {
   }
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->done.wait(lock, [&] { return state_->outstanding == 0; });
+    UniqueLock lock(state_->mutex);
+    while (state_->outstanding != 0) state_->done.wait(lock, state_->mutex);
     if (state_->error) {
       std::exception_ptr error = std::exchange(state_->error, nullptr);
       lock.unlock();
@@ -166,7 +166,7 @@ void run_indexed(std::size_t begin, std::size_t end,
   std::atomic<std::size_t> cursor{begin};
   const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
@@ -180,13 +180,13 @@ void run_indexed(std::size_t begin, std::size_t end,
           try {
             body(i, worker);
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            const LockGuard lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
             return;
           }
         }
         {
-          const std::lock_guard<std::mutex> lock(error_mutex);
+          const LockGuard lock(error_mutex);
           if (first_error) return;
         }
       }

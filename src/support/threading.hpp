@@ -17,15 +17,15 @@
 // k-block tasks from an in-flight scenario.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace fpsched {
 
@@ -61,16 +61,17 @@ class ThreadPool {
   /// executed the task itself is simply stale and dropped, so tickets can
   /// safely outlive the TaskGroup object.
   struct GroupState {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::deque<std::function<void()>> tasks;  // submitted, not yet claimed
-    std::size_t outstanding = 0;              // queued + currently running
-    std::exception_ptr error;                 // first task exception
+    Mutex mutex;
+    CondVar done;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mutex);  // submitted, not yet claimed
+    std::size_t outstanding GUARDED_BY(mutex) = 0;              // queued + currently running
+    std::exception_ptr error GUARDED_BY(mutex);                 // first task exception
 
     /// Claims and runs one queued task (helper for workers and waiters).
-    /// Returns false when no task was queued.
-    bool run_one();
-    void finish_one();
+    /// Returns false when no task was queued. Takes the group mutex
+    /// internally (the task itself runs unlocked).
+    bool run_one() EXCLUDES(mutex);
+    void finish_one() EXCLUDES(mutex);
   };
 
   /// One queue entry: a plain submitted task or a group ticket.
@@ -83,10 +84,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<Item> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Item> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// A batch of subtasks executed on a shared ThreadPool and joined with a

@@ -16,9 +16,16 @@ TEST(Dot, EmitsNodesAndEdges) {
   write_dot(os, graph.dag());
   const std::string out = os.str();
   EXPECT_NE(out.find("digraph workflow"), std::string::npos);
-  for (int v = 0; v < 8; ++v)
-    EXPECT_NE(out.find("n" + std::to_string(v) + " [label=\"T" + std::to_string(v)),
-              std::string::npos);
+  for (int v = 0; v < 8; ++v) {
+    // Built piecewise (+= instead of one operator+ chain): GCC 12's
+    // -Wrestrict misfires on `const char* + std::string&&` chains when
+    // inlined (GCC PR 105651), and the build runs -Werror in CI.
+    std::string needle = "n";
+    needle += std::to_string(v);
+    needle += " [label=\"T";
+    needle += std::to_string(v);
+    EXPECT_NE(out.find(needle), std::string::npos);
+  }
   EXPECT_NE(out.find("n0 -> n3;"), std::string::npos);
   EXPECT_NE(out.find("n2 -> n7;"), std::string::npos);
   EXPECT_EQ(out.find("n3 -> n0;"), std::string::npos);

@@ -1,0 +1,65 @@
+// Expected-to-PASS positive control for the thread-safety gate.
+//
+// Exercises every primitive in support/sync.hpp the way the codebase
+// uses them — LockGuard scopes, a relockable UniqueLock with a manual
+// unlock/relock window, a CondVar predicate loop, and a REQUIRES helper
+// — and must compile warning-free under -Wthread-safety -Werror. If
+// this TU fails, the negative test above proves nothing (a broken gate
+// rejects everything), so tools/check_thread_safety.sh requires this
+// one to succeed first.
+#include "support/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(long item) {
+    {
+      const fpsched::LockGuard lock(mutex_);
+      head_ = item;
+      ++size_;
+    }
+    changed_.notify_all();
+  }
+
+  long pop_or_process() {
+    fpsched::UniqueLock lock(mutex_);
+    while (size_ == 0) changed_.wait(lock, mutex_);
+    const long item = head_;
+    --size_;
+    lock.unlock();
+    // Slow work happens outside the lock; the analysis tracks the
+    // released state across the window.
+    const long processed = item * 2;
+    lock.lock();
+    head_ = processed;
+    return processed;
+  }
+
+ private:
+  long drain_locked() REQUIRES(mutex_) {
+    const long drained = size_;
+    size_ = 0;
+    return drained;
+  }
+
+  fpsched::Mutex mutex_;
+  fpsched::CondVar changed_;
+  long head_ GUARDED_BY(mutex_) = 0;
+  long size_ GUARDED_BY(mutex_) = 0;
+
+ public:
+  long drain() {
+    const fpsched::LockGuard lock(mutex_);
+    return drain_locked();
+  }
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push(21);
+  const long processed = queue.pop_or_process();
+  return processed == 42 && queue.drain() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Expected-to-FAIL translation unit for the thread-safety gate.
+//
+// tools/check_thread_safety.sh compiles this TU twice: without
+// -Wthread-safety it must build (it is valid C++ — the bug is a lock
+// discipline violation, not a syntax error), and with
+// -Wthread-safety -Werror it must be rejected, proving the annotations
+// in support/sync.hpp actually carry analysis weight instead of
+// expanding to decoration. It is never part of the real build (the test
+// glob only picks up tests/*_test.cpp).
+#include "support/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: writes a GUARDED_BY field without holding its mutex. This is
+  // the access -Wthread-safety must reject.
+  void bump_unlocked() { ++value_; }
+
+  void bump() {
+    const fpsched::LockGuard lock(mutex_);
+    ++value_;
+  }
+
+  long value() {
+    const fpsched::LockGuard lock(mutex_);
+    return value_;
+  }
+
+ private:
+  fpsched::Mutex mutex_;
+  long value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_unlocked();
+  counter.bump();
+  return counter.value() == 2 ? 0 : 1;
+}

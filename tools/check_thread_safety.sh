@@ -1,0 +1,70 @@
+#!/bin/sh
+# Negative-compilation check for the thread-safety annotations.
+#
+# Usage: check_thread_safety.sh <c++-compiler> <repo-root> [work-dir]
+#
+# Proves the annotations in src/support/sync.hpp are load-bearing:
+#   1. the compiler is Clang with -Wthread-safety support (else SKIP, 77
+#      — GCC expands the annotation macros to nothing, so there is
+#      nothing to check);
+#   2. the positive control (tests/negative/thread_safety_clean.cpp)
+#      compiles warning-free WITH the gate — a gate that rejects correct
+#      code would make step 3 meaningless;
+#   3. the violation TU (tests/negative/thread_safety_violation.cpp)
+#      compiles fine WITHOUT the gate (it is valid C++) ...
+#   4. ... and is REJECTED with -Wthread-safety -Wthread-safety-beta
+#      -Werror, with the diagnostic naming the guarded field.
+#
+# Exit: 0 ok, 77 skipped (non-Clang), 1 gate broken.
+set -u
+
+CXX=${1:?usage: check_thread_safety.sh <c++-compiler> <repo-root> [work-dir]}
+ROOT=${2:?usage: check_thread_safety.sh <c++-compiler> <repo-root> [work-dir]}
+WORK=${3:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+CLEAN_TU="$ROOT/tests/negative/thread_safety_clean.cpp"
+BAD_TU="$ROOT/tests/negative/thread_safety_violation.cpp"
+BASE_FLAGS="-std=c++20 -I$ROOT/src -fsyntax-only"
+GATE_FLAGS="-Wthread-safety -Wthread-safety-beta -Werror"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "check_thread_safety: $CXX is not Clang — thread-safety analysis unavailable, skipping"
+  exit 77
+fi
+
+# Belt and braces: an old Clang without the warning group would silently
+# pass everything through.
+if ! "$CXX" $BASE_FLAGS $GATE_FLAGS -x c++ /dev/null 2>"$WORK/probe.err"; then
+  echo "check_thread_safety: $CXX rejects $GATE_FLAGS — skipping"
+  cat "$WORK/probe.err"
+  exit 77
+fi
+
+echo "== positive control: clean TU must pass the gate"
+if ! "$CXX" $BASE_FLAGS $GATE_FLAGS "$CLEAN_TU" 2>"$WORK/clean.err"; then
+  echo "FAIL: $CLEAN_TU should compile under the thread-safety gate but did not:"
+  cat "$WORK/clean.err"
+  exit 1
+fi
+
+echo "== violation TU is valid C++ without the gate"
+if ! "$CXX" $BASE_FLAGS "$BAD_TU" 2>"$WORK/bad-nogate.err"; then
+  echo "FAIL: $BAD_TU should be valid C++ without -Wthread-safety:"
+  cat "$WORK/bad-nogate.err"
+  exit 1
+fi
+
+echo "== violation TU must be rejected by the gate"
+if "$CXX" $BASE_FLAGS $GATE_FLAGS "$BAD_TU" 2>"$WORK/bad.err"; then
+  echo "FAIL: $BAD_TU compiled under the gate — the annotations are not analyzed"
+  exit 1
+fi
+if ! grep -q "value_" "$WORK/bad.err"; then
+  echo "FAIL: the rejection does not name the guarded field; diagnostic was:"
+  cat "$WORK/bad.err"
+  exit 1
+fi
+
+echo "check_thread_safety: OK (gate accepts clean code, rejects the unlocked GUARDED_BY access)"
+exit 0
