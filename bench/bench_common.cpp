@@ -17,6 +17,11 @@ void add_sweep_options(CliParser& cli) {
                  "downtime grid in seconds (downtime sweep only)");
 }
 
+void add_trial_options(CliParser& cli) {
+  cli.add_option("trials", "20000",
+                 "Monte-Carlo trials per simulated cell (robustness experiment)");
+}
+
 std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
                                                   const char* const* argv) {
   cli.add_option("sizes", "50,100,200,300,400,500,600,700", "task-count grid");
@@ -57,6 +62,7 @@ std::optional<FigureOptions> parse_figure_options(CliParser& cli, int argc,
   options.eval_math = parse_eval_math(cli.get_string("eval-math"));
   options.instance_cache = !cli.get_flag("no-instance-cache");
   if (cli.has_option("tasks")) options.tasks = cli.get_count("tasks", 1);
+  if (cli.has_option("trials")) options.trials = cli.get_count("trials", 1);
   if (cli.has_option("downtimes")) {
     options.downtimes = cli.get_double_list("downtimes");
     for (const double d : options.downtimes) {
@@ -96,6 +102,7 @@ int figure_main(const std::string& name, int argc, const char* const* argv) {
     // keep rejecting them (a silently ignored option reads as a resized
     // grid that never happened).
     if (experiment.sweep_options) add_sweep_options(cli);
+    if (experiment.trial_options) add_trial_options(cli);
     const auto options = parse_figure_options(cli, argc, argv);
     if (!options) return 0;
     run_figure_experiment(std::cout, experiment, *options);

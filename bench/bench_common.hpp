@@ -32,6 +32,11 @@ using engine::PanelSpec;
 /// registry-driven binary exposes the same CLI.
 void add_sweep_options(CliParser& cli);
 
+/// Registers `--trials` (Monte-Carlo trials per simulated cell) for the
+/// experiments flagged trial_options (robustness); figure_main and
+/// fpsched_run call this so only those binaries expose the knob.
+void add_trial_options(CliParser& cli);
+
 /// Registers the shared options on `cli`, parses, and converts. Returns
 /// nullopt when --help was requested. Rejects malformed values
 /// (e.g. --stride 0) with a clear error; creates the --csv directory when

@@ -23,6 +23,8 @@
 
 #include "bench_common.hpp"
 #include "engine/result_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/socket.hpp"
 
@@ -148,6 +150,12 @@ int main(int argc, char** argv) {
                  "run slice I/N of the flattened scenario list (e.g. 1/2); --format ndjson "
                  "only — shard outputs concatenate to the bit-identical unsharded run");
   add_sweep_options(cli);
+  add_trial_options(cli);
+  // Observability is stderr/file-only: record and panel output stay
+  // byte-identical whether these are on or off.
+  cli.add_option("trace", "",
+                 "write a chrome://tracing JSON of the run's spans to this file");
+  cli.add_flag("stats", "print the telemetry registry as JSON to stderr after the run");
   try {
     // SIGPIPE must not kill an hours-long run whose consumer went away
     // (`fpsched_run ... | head`, a vanished reader of --out on a FIFO):
@@ -210,6 +218,8 @@ int main(int argc, char** argv) {
     for (const std::string& name : names) {
       experiments.push_back(&engine::ExperimentRegistry::global().find(name));
     }
+    const std::string trace_path = cli.get_string("trace");
+    if (!trace_path.empty()) obs::start_tracing();
     const bool records_to_stdout =
         out_dir.empty() && (formats.contains("ndjson") || formats.contains("json"));
     for (const engine::Experiment* experiment : experiments) {
@@ -234,6 +244,13 @@ int main(int argc, char** argv) {
           throw Error("stdout stream failed mid-write (closed pipe?)");
         }
       }
+    }
+    if (!trace_path.empty()) {
+      obs::stop_tracing();
+      obs::write_trace_file(trace_path);
+    }
+    if (cli.get_flag("stats")) {
+      std::cerr << obs::MetricsRegistry::global().json() << "\n";
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -43,6 +43,8 @@
 #include "core/evaluator_naive.hpp"
 #include "core/math_kernels.hpp"
 #include "dag/linearize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
@@ -233,8 +235,13 @@ int main(int argc, char** argv) {
                  "(0 = no budget)");
   cli.add_flag("instance-only", "run only the instance-scale rows (skip evaluator strategies)");
   cli.add_flag("quick", "small sizes + short sampling for a smoke run");
+  cli.add_option("trace", "",
+                 "write a chrome://tracing JSON of the run's spans to this file");
+  cli.add_flag("stats", "print the telemetry registry as JSON to stderr after the run");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    const std::string trace_path = cli.get_string("trace");
+    if (!trace_path.empty()) obs::start_tracing();
     std::vector<std::size_t> sizes;
     for (const auto s : cli.get_int_list("sizes")) {
       if (s < 1) throw InvalidArgument("option --sizes: task counts must be >= 1");
@@ -434,6 +441,13 @@ int main(int argc, char** argv) {
       file.flush();
       if (!file.good()) throw Error("failed writing " + out_path);
       std::cerr << "wrote " << out_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      obs::stop_tracing();
+      obs::write_trace_file(trace_path);
+    }
+    if (cli.get_flag("stats")) {
+      std::cerr << obs::MetricsRegistry::global().json() << "\n";
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -3,75 +3,14 @@
 // platform actually fails with Weibull inter-arrival times of the same
 // MTBF?
 //
-// For each workflow we pick the best heuristic schedule under the
-// exponential model (the 14-heuristic search is sharded across the
-// experiment engine's workers), then simulate it under (i) exponential
-// failures (the model's own assumption — sanity row), (ii) Weibull shape
-// 0.7 (bursty / infant mortality, as observed on real HPC platforms), and
-// (iii) Weibull shape 1.5 (aging). Reported: simulated mean makespan vs
-// the analytic exponential prediction.
-#include <iostream>
-
+// The study lives in the experiment registry as "robustness" (see
+// src/engine/figures.cpp): per workflow it picks the best heuristic
+// schedule under the exponential model, then simulates it under (i)
+// exponential failures (the model's own assumption — sanity row), (ii)
+// Weibull shape 0.7 (bursty / infant mortality, as observed on real HPC
+// platforms), and (iii) Weibull shape 1.5 (aging). This binary is the
+// usual thin shim, so the study shards, streams, and serves like every
+// figure (`fpsched_run robustness`, `POST /runs?experiment=robustness`).
 #include "bench_common.hpp"
-#include "sim/trial_runner.hpp"
-#include "support/error.hpp"
-#include "support/table.hpp"
 
-using namespace fpsched;
-using namespace fpsched::bench;
-
-int main(int argc, char** argv) {
-  CliParser cli("Robustness of exponential-optimized schedules under Weibull failures.");
-  cli.add_option("tasks", "150", "workflow size");
-  cli.add_option("trials", "20000", "Monte-Carlo trials per cell");
-  try {
-    const auto options = parse_figure_options(cli, argc, argv);
-    if (!options) return 0;
-    const std::size_t size = cli.get_count("tasks", 1);
-    const std::size_t trials = cli.get_count("trials", 1);
-    const engine::ExperimentEngine eng = make_engine(*options);
-
-    std::cout << "Robustness under non-exponential failures (" << size
-              << " tasks, c_i = r_i = 0.1 w_i, equal MTBF across rows)\n";
-    Table table({"workflow", "schedule", "analytic E[T]", "sim exponential",
-                 "sim weibull k=0.7", "sim weibull k=1.5"});
-    for (const WorkflowKind kind : all_workflow_kinds()) {
-      const double lambda = paper_lambda(kind);
-      const TaskGraph graph = make_instance(kind, size, CostModel::proportional(0.1), *options);
-      const ScheduleEvaluator evaluator(graph, FailureModel(lambda, 0.0));
-      HeuristicOptions heuristic_options;
-      heuristic_options.sweep.stride = options->stride;
-      const auto results = eng.run_heuristics(evaluator, all_heuristics(), heuristic_options);
-      const HeuristicResult& best = results[best_result_index(results)];
-
-      const FaultSimulator sim(graph, FailureModel(lambda, 0.0), best.schedule);
-      const TrialOptions trial_options{.trials = trials, .seed = 31, .threads = 0};
-      const MonteCarloSummary expo = run_trials_with_distribution(
-          sim, FaultDistribution::exponential(lambda), trial_options);
-      const MonteCarloSummary bursty = run_trials_with_distribution(
-          sim, FaultDistribution::weibull_from_mtbf(0.7, 1.0 / lambda), trial_options);
-      const MonteCarloSummary aging = run_trials_with_distribution(
-          sim, FaultDistribution::weibull_from_mtbf(1.5, 1.0 / lambda), trial_options);
-
-      table.row()
-          .cell(to_string(kind))
-          .cell(best.spec.name())
-          .cell(best.evaluation.expected_makespan, 1)
-          .cell(format_double(expo.mean_makespan(), 1) + " +/- " +
-                format_double(expo.ci95(), 1))
-          .cell(format_double(bursty.mean_makespan(), 1) + " +/- " +
-                format_double(bursty.ci95(), 1))
-          .cell(format_double(aging.mean_makespan(), 1) + " +/- " +
-                format_double(aging.ci95(), 1));
-    }
-    table.print(std::cout);
-    std::cout << "\nReading guide: the exponential column must reproduce the analytic value\n"
-                 "(model sanity); bursty failures (k=0.7) cluster, so the same MTBF wastes\n"
-                 "less completed work and lands below the exponential prediction, while\n"
-                 "aging platforms (k=1.5) spread failures evenly and typically cost more.\n";
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return fpsched::bench::figure_main("robustness", argc, argv); }

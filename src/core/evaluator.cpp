@@ -6,10 +6,41 @@
 #include <cstdlib>
 
 #include "core/math_kernels.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/threading.hpp"
 
 namespace fpsched {
+
+namespace {
+
+// Telemetry only: relaxed counters cached once per process (see
+// obs/metrics.hpp for the never-perturbs-determinism contract).
+struct EvalMetrics {
+  obs::Counter& runs;
+  obs::Counter& sweeps;
+  obs::Counter& parallel_runs;
+  obs::Histogram& kblock_passes;
+};
+
+EvalMetrics& eval_metrics() {
+  static EvalMetrics* metrics = [] {
+    static constexpr double kBlockBounds[] = {1.0,  2.0,   4.0,   8.0,   16.0,  32.0,
+                                              64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0};
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    return new EvalMetrics{
+        reg.counter("fpsched_eval_runs_total", "Theorem 3 evaluator invocations"),
+        reg.counter("fpsched_eval_kernel_sweeps_total",
+                    "batched exp/expm1 kernel sweeps issued by the evaluator"),
+        reg.counter("fpsched_eval_parallel_runs_total",
+                    "evaluator invocations that split passes into parallel k-blocks"),
+        reg.histogram("fpsched_eval_kblock_passes",
+                      "k-pass count per parallel evaluator block", kBlockBounds)};
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 void EvaluatorWorkspace::resize(std::size_t n, std::size_t edges) {
   work.resize(n);
@@ -158,6 +189,7 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
       if (per_task) (*per_task)[i] = xi;
       total += xi;
     }
+    eval_metrics().runs.add(1);  // no kernel sweeps on the failure-free path
     return total;
   }
   const double rate_factor = 1.0 / lambda + model_.downtime();
@@ -308,6 +340,7 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
   };
 
   const std::size_t eval_threads = std::min(parallel.threads, n);
+  std::size_t staged_passes = 0;  // each staged pass issues 3 kernel sweeps
   if (eval_threads <= 1) {
     EvaluatorWorkspace::EvalBlockScratch& blk = serial_blk;
     blk.recovered_at.assign(n, -1);
@@ -327,6 +360,7 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
       }
       stage_pass(k, blk, 0);
       combine_pass(k, blk, 0);
+      ++staged_passes;
     }
   } else {
     // Parallel k-blocks. Everything a pass computes except the final
@@ -336,6 +370,11 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
     // evaluates whole passes concurrently on private scratch.
     const std::vector<std::size_t> bounds = eval_block_boundaries(n, eval_threads);
     const std::size_t block_count = bounds.size() - 1;
+    staged_passes = n;  // parallel phase A stages every pass, dead or not
+    eval_metrics().parallel_runs.add(1);
+    for (std::size_t bi = 0; bi < block_count; ++bi) {
+      eval_metrics().kblock_passes.observe(static_cast<double>(bounds[bi + 1] - bounds[bi]));
+    }
     ws.blocks.resize(block_count);
     const auto run_block = [&](std::size_t bi) {
       EvaluatorWorkspace::EvalBlockScratch& blk = ws.blocks[bi];
@@ -389,6 +428,9 @@ double ScheduleEvaluator::run(const Schedule& schedule, EvaluatorWorkspace& ws,
     if (per_task) (*per_task)[i] = xi;
     total += xi;
   }
+  EvalMetrics& metrics = eval_metrics();
+  metrics.runs.add(1);
+  metrics.sweeps.add(2 + 3 * staged_passes);  // pass -1 issues 2, each staged pass 3
   return total;
 }
 

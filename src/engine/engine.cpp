@@ -4,6 +4,11 @@
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/fault_distribution.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trial_runner.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/sync.hpp"
@@ -18,6 +23,42 @@ namespace {
 std::size_t resolve_workers(std::size_t requested) {
   const std::size_t resolved = requested == 0 ? default_thread_count() : requested;
   return std::clamp<std::size_t>(resolved, 1, kMaxPoolThreads);
+}
+
+// Telemetry only (see obs/metrics.hpp for the contract). busy_ns sums the
+// wall time of every scenario across all workers — together with
+// run_seconds it yields worker utilization (busy / (wall * threads)).
+struct EngineMetrics {
+  obs::Counter& runs;
+  obs::Counter& scenarios;
+  obs::Counter& busy_ns;
+  obs::Counter& cache_hits;
+  obs::Histogram& run_seconds;
+  obs::Histogram& scenario_seconds;
+  obs::Gauge& emitter_buffered;
+  obs::Gauge& emitter_buffered_peak;
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics* metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    return new EngineMetrics{
+        reg.counter("fpsched_engine_runs_total", "engine batch runs"),
+        reg.counter("fpsched_engine_scenarios_total", "scenarios executed"),
+        reg.counter("fpsched_engine_busy_ns_total",
+                    "summed per-scenario wall nanoseconds across workers"),
+        reg.counter("fpsched_instance_cache_hits_total",
+                    "scenario lookups served by an already-materialized instance"),
+        reg.histogram("fpsched_engine_run_seconds", "wall seconds per engine batch run",
+                      obs::latency_buckets_seconds()),
+        reg.histogram("fpsched_engine_scenario_seconds", "wall seconds per scenario",
+                      obs::latency_buckets_seconds()),
+        reg.gauge("fpsched_engine_emitter_buffered",
+                  "results completed out of order, held for in-order emission"),
+        reg.gauge("fpsched_engine_emitter_buffered_peak",
+                  "high-water mark of out-of-order results held by the emitter")};
+  }();
+  return *metrics;
 }
 
 }  // namespace
@@ -52,8 +93,10 @@ namespace {
 /// `run_one(heuristic)` must behave as run_heuristic for that heuristic on
 /// the scenario's evaluator; the overloads differ only in whether the
 /// linearization comes from an InstanceCache or is computed from scratch.
+/// `graph` is the scenario's instance (needed by simulated_best, which
+/// replays the winning schedule through the fault simulator).
 template <typename RunFn>
-ScenarioResult execute_policy(const ScenarioSpec& spec, RunFn&& run_one) {
+ScenarioResult execute_policy(const ScenarioSpec& spec, const TaskGraph& graph, RunFn&& run_one) {
   ScenarioResult result;
   result.spec = spec;
   if (spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic) {
@@ -61,6 +104,44 @@ ScenarioResult execute_policy(const ScenarioSpec& spec, RunFn&& run_one) {
     result.evaluation = run.evaluation;
     result.linearization = spec.policy.heuristic.linearization;
     result.best_budget = run.best_budget;
+    return result;
+  }
+
+  if (spec.policy.kind == ScenarioPolicy::Kind::simulated_best) {
+    // Robustness study: pick the schedule that wins across ALL heuristics
+    // under the analytic (exponential) model, then re-score it under the
+    // policy's failure law. The analytic row keeps the evaluator's
+    // expectation; the simulated rows replace expected_makespan (and the
+    // ratio derived from it) with the Monte-Carlo mean.
+    const std::vector<HeuristicSpec>& heuristics = all_heuristics();
+    std::vector<HeuristicResult> runs;
+    runs.reserve(heuristics.size());
+    for (const HeuristicSpec& heuristic : heuristics) runs.push_back(run_one(heuristic));
+    const HeuristicResult& best = runs[best_result_index(runs)];
+    result.evaluation = best.evaluation;
+    result.linearization = best.spec.linearization;
+    result.best_budget = best.best_budget;
+    if (spec.policy.sim_distribution == ScenarioPolicy::SimDistribution::analytic) return result;
+
+    const double lambda = spec.model.lambda();
+    ensure(lambda > 0.0, "a simulated policy needs lambda > 0 (" + spec.label() + ")");
+    ensure(spec.policy.sim_trials >= 1,
+           "a simulated policy needs sim_trials >= 1 (" + spec.label() + ")");
+    const FaultDistribution faults =
+        spec.policy.sim_distribution == ScenarioPolicy::SimDistribution::exponential
+            ? FaultDistribution::exponential(lambda)
+            : FaultDistribution::weibull_from_mtbf(spec.policy.sim_shape, 1.0 / lambda);
+    const FaultSimulator simulator(graph, spec.model, best.schedule);
+    // threads = 1: the trial runner merges per-worker partial stats in
+    // worker order, so only the serial merge is a pure function of the
+    // spec (the byte-identical-under-any-sharding contract).
+    const TrialOptions trials{.trials = spec.policy.sim_trials, .seed = spec.policy.sim_seed,
+                              .threads = 1};
+    const MonteCarloSummary summary = run_trials_with_distribution(simulator, faults, trials);
+    result.evaluation.expected_makespan = summary.mean_makespan();
+    result.evaluation.ratio = result.evaluation.total_weight > 0.0
+                                  ? summary.mean_makespan() / result.evaluation.total_weight
+                                  : 1.0;
     return result;
   }
 
@@ -101,10 +182,14 @@ HeuristicOptions scenario_options(const ExperimentEngine& engine, const Scenario
 ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec,
                                               EvaluatorWorkspace& workspace,
                                               const PoolToken& token) const {
+  EngineMetrics& metrics = engine_metrics();
+  const obs::ScopedTimer timer(&metrics.scenario_seconds, &metrics.busy_ns);
+  const obs::TraceSpan span([&] { return "scenario " + spec.label(); });
+  metrics.scenarios.add(1);
   const TaskGraph graph = spec.instantiate();
   const ScheduleEvaluator evaluator(graph, spec.model);
   const HeuristicOptions options = scenario_options(*this, spec, workspace, token);
-  return execute_policy(spec, [&](const HeuristicSpec& heuristic) {
+  return execute_policy(spec, graph, [&](const HeuristicSpec& heuristic) {
     return run_heuristic(evaluator, heuristic, options);
   });
 }
@@ -113,10 +198,14 @@ ScenarioResult ExperimentEngine::run_scenario(const ScenarioSpec& spec, Instance
                                               const PoolToken& token) const {
   ensure(cache.key() == InstanceKey::of(spec),
          "instance cache does not match the scenario (" + spec.label() + ")");
+  EngineMetrics& metrics = engine_metrics();
+  const obs::ScopedTimer timer(&metrics.scenario_seconds, &metrics.busy_ns);
+  const obs::TraceSpan span([&] { return "scenario " + spec.label(); });
+  metrics.scenarios.add(1);
   const TaskGraph& graph = cache.graph_for(spec.cost_model);
   const ScheduleEvaluator evaluator(graph, spec.model);
   const HeuristicOptions options = scenario_options(*this, spec, cache.workspace(), token);
-  return execute_policy(spec, [&](const HeuristicSpec& heuristic) {
+  return execute_policy(spec, graph, [&](const HeuristicSpec& heuristic) {
     return run_heuristic(evaluator, heuristic, cache.order(heuristic.linearization), options);
   });
 }
@@ -134,9 +223,15 @@ class WorkerInstanceCaches {
  public:
   InstanceCache& for_spec(const ScenarioSpec& spec) {
     const InstanceKey key = InstanceKey::of(spec);
-    if (!caches_.empty() && caches_.back()->key() == key) return *caches_.back();
+    if (!caches_.empty() && caches_.back()->key() == key) {
+      engine_metrics().cache_hits.add(1);
+      return *caches_.back();
+    }
     for (const auto& cache : caches_) {
-      if (cache->key() == key) return *cache;
+      if (cache->key() == key) {
+        engine_metrics().cache_hits.add(1);
+        return *cache;
+      }
     }
     caches_.push_back(std::make_unique<InstanceCache>(spec));
     return *caches_.back();
@@ -161,10 +256,15 @@ class OrderedEmitter {
     if (!on_result_) return;
     const LockGuard lock(mutex_);
     done_[index] = true;
+    ++done_count_;
     while (next_ < done_.size() && done_[next_]) {
       on_result_(next_, results_[next_]);
       ++next_;
     }
+    // Completed-but-not-yet-emitted results = head-of-line blocking depth.
+    const auto buffered = static_cast<std::int64_t>(done_count_ - next_);
+    engine_metrics().emitter_buffered.set(buffered);
+    engine_metrics().emitter_buffered_peak.set_max(buffered);
   }
 
  private:
@@ -172,6 +272,7 @@ class OrderedEmitter {
   const std::vector<ScenarioResult>& results_;
   Mutex mutex_;
   std::vector<char> done_ GUARDED_BY(mutex_);
+  std::size_t done_count_ GUARDED_BY(mutex_) = 0;
   std::size_t next_ GUARDED_BY(mutex_) = 0;
 };
 
@@ -179,6 +280,12 @@ class OrderedEmitter {
 
 std::vector<ScenarioResult> ExperimentEngine::run(std::span<const ScenarioSpec> specs,
                                                   const ResultCallback& on_result) const {
+  EngineMetrics& metrics = engine_metrics();
+  metrics.runs.add(1);
+  const obs::ScopedTimer run_timer(metrics.run_seconds);
+  const obs::TraceSpan run_span([&] {
+    return "engine.run " + std::to_string(specs.size()) + " scenarios";
+  });
   std::vector<ScenarioResult> results(specs.size());
   OrderedEmitter emitter(on_result, results);
 

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "engine/engine.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace fpsched::engine {
@@ -105,6 +106,7 @@ std::vector<PlannedScenario> flatten_plan(const FigurePlan& plan) {
 void run_experiment(const Experiment& experiment, const FigureOptions& options,
                     std::span<ResultSink* const> sinks, std::ostream* text,
                     const ShardSpec& shard) {
+  const obs::TraceSpan span([&] { return "experiment " + experiment.name; });
   const FigurePlan plan = experiment.build(options);
 
   // Flatten every panel's grid into one list so the whole figure shards

@@ -53,6 +53,9 @@ struct FigureOptions {
   std::size_t tasks = 200;
   /// Downtime grid of the downtime-sweep experiment (seconds).
   std::vector<double> downtimes{0, 60, 300, 900, 3600};
+  /// Monte-Carlo trials per simulated cell (the robustness study); the
+  /// analytic experiments ignore it.
+  std::size_t trials = 20000;
 };
 
 /// One declared figure panel: the scenario grid plus presentation.
@@ -83,6 +86,9 @@ struct Experiment {
   /// ignoring a flag the user thinks took effect (fpsched_run registers
   /// them always — it can run any mix of experiments).
   bool sweep_options = false;
+  /// Whether the builder consumes FigureOptions::trials — same contract
+  /// as sweep_options, for the `--trials` flag of the simulated studies.
+  bool trial_options = false;
 };
 
 /// Name -> Experiment map with registration-order listing. Lookup of an
@@ -112,7 +118,8 @@ class ExperimentRegistry {
 };
 
 /// Registers the paper's figure reproductions and the engine's sweep
-/// studies: fig2-fig7 plus "downtime".
+/// studies: fig2-fig7, "downtime", plus the "robustness" Monte-Carlo
+/// study (exponential-optimized schedules under Weibull failures).
 void register_paper_figures(ExperimentRegistry& registry);
 
 /// One process's slice of a run: shard `index` of `count` (1-based).

@@ -1,8 +1,48 @@
 #include "engine/instance_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace fpsched::engine {
+
+namespace {
+
+// Telemetry only (see obs/metrics.hpp). Hits are counted at the lookup
+// site (engine.cpp WorkerInstanceCaches); misses here, where the
+// instance is actually materialized.
+struct InstanceMetrics {
+  obs::Counter& misses;
+  obs::Counter& generate_ns;
+  obs::Counter& linearizations;
+  obs::Counter& linearize_ns;
+};
+
+InstanceMetrics& instance_metrics() {
+  static InstanceMetrics* metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    return new InstanceMetrics{
+        reg.counter("fpsched_instance_cache_misses_total",
+                    "instances materialized (graph generated + costs applied)"),
+        reg.counter("fpsched_instance_generate_ns_total",
+                    "nanoseconds spent generating workflow instances"),
+        reg.counter("fpsched_instance_linearizations_total",
+                    "linearization orders computed (cache misses per method)"),
+        reg.counter("fpsched_instance_linearize_ns_total",
+                    "nanoseconds spent computing linearization orders")};
+  }();
+  return *metrics;
+}
+
+TaskGraph generate_instrumented(const ScenarioSpec& spec) {
+  InstanceMetrics& metrics = instance_metrics();
+  metrics.misses.add(1);
+  const obs::TraceSpan span("instance.generate");
+  const obs::ScopedTimer timer(nullptr, &metrics.generate_ns);
+  return spec.instantiate();
+}
+
+}  // namespace
 
 InstanceKey InstanceKey::of(const ScenarioSpec& spec) {
   InstanceKey key;
@@ -15,7 +55,7 @@ InstanceKey InstanceKey::of(const ScenarioSpec& spec) {
 }
 
 InstanceCache::InstanceCache(const ScenarioSpec& spec)
-    : key_(InstanceKey::of(spec)), graph_(spec.instantiate()), applied_(spec.cost_model) {}
+    : key_(InstanceKey::of(spec)), graph_(generate_instrumented(spec)), applied_(spec.cost_model) {}
 
 const TaskGraph& InstanceCache::graph_for(const CostModel& model) {
   if (!(model == applied_)) {
@@ -32,6 +72,10 @@ const std::vector<VertexId>& InstanceCache::order(LinearizeMethod method) {
   ensure(index < orders_.size(), "unknown linearization method");
   std::optional<std::vector<VertexId>>& slot = orders_[index];
   if (!slot) {
+    InstanceMetrics& metrics = instance_metrics();
+    metrics.linearizations.add(1);
+    const obs::TraceSpan span("instance.linearize");
+    const obs::ScopedTimer timer(nullptr, &metrics.linearize_ns);
     // The SoA weight span feeds the linearizer directly; the workspace
     // persists across the (up to three) methods this cache memoizes.
     slot.emplace();

@@ -157,6 +157,24 @@ std::string_view cost_model_kind(const CostModel& model) {
   return "?";
 }
 
+std::string_view policy_kind_name(ScenarioPolicy::Kind kind) {
+  switch (kind) {
+    case ScenarioPolicy::Kind::fixed_heuristic: return "fixed";
+    case ScenarioPolicy::Kind::best_linearization: return "best_linearization";
+    case ScenarioPolicy::Kind::simulated_best: return "simulated_best";
+  }
+  return "?";
+}
+
+std::string_view sim_distribution_name(ScenarioPolicy::SimDistribution distribution) {
+  switch (distribution) {
+    case ScenarioPolicy::SimDistribution::analytic: return "analytic";
+    case ScenarioPolicy::SimDistribution::exponential: return "exponential";
+    case ScenarioPolicy::SimDistribution::weibull: return "weibull";
+  }
+  return "?";
+}
+
 }  // namespace
 
 std::string to_json(const ResultRecord& record) {
@@ -169,12 +187,17 @@ std::string to_json(const ResultRecord& record) {
      << ",\"downtime\":" << json_number(spec.model.downtime())
      << ",\"cost_model\":" << json_quote(cost_model_kind(spec.cost_model))
      << ",\"cost_parameter\":" << json_number(spec.cost_model.parameter)
-     << ",\"policy_kind\":"
-     << json_quote(spec.policy.kind == ScenarioPolicy::Kind::fixed_heuristic
-                        ? "fixed"
-                        : "best_linearization")
-     << ",\"policy\":" << json_quote(spec.policy.name())
-     << ",\"workflow_seed\":" << spec.workflow_seed
+     << ",\"policy_kind\":" << json_quote(policy_kind_name(spec.policy.kind))
+     << ",\"policy\":" << json_quote(spec.policy.name());
+  if (spec.policy.kind == ScenarioPolicy::Kind::simulated_best) {
+    // Appended only for the new kind: records of pre-existing policies
+    // keep their historical bytes.
+    os << ",\"sim_distribution\":" << json_quote(sim_distribution_name(spec.policy.sim_distribution))
+       << ",\"sim_shape\":" << json_number(spec.policy.sim_shape)
+       << ",\"sim_trials\":" << spec.policy.sim_trials
+       << ",\"sim_seed\":" << spec.policy.sim_seed;
+  }
+  os << ",\"workflow_seed\":" << spec.workflow_seed
      << ",\"weight_cv\":" << json_number(spec.weight_cv) << ",\"stride\":" << spec.stride
      << ",\"scenario_index\":" << spec.scenario_index
      << ",\"linearization\":" << json_quote(to_string(record.result.linearization))

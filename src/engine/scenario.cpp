@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/table.hpp"
 
 namespace fpsched::engine {
 
@@ -21,8 +22,29 @@ ScenarioPolicy ScenarioPolicy::best_lin(CkptStrategy strategy) {
   return policy;
 }
 
+ScenarioPolicy ScenarioPolicy::simulated(SimDistribution distribution, double shape,
+                                         std::size_t trials, std::uint64_t seed) {
+  ScenarioPolicy policy;
+  policy.kind = Kind::simulated_best;
+  policy.sim_distribution = distribution;
+  policy.sim_shape = shape;
+  policy.sim_trials = trials;
+  policy.sim_seed = seed;
+  return policy;
+}
+
 std::string ScenarioPolicy::name() const {
-  return kind == Kind::fixed_heuristic ? heuristic.name() : to_string(strategy);
+  switch (kind) {
+    case Kind::fixed_heuristic: return heuristic.name();
+    case Kind::best_linearization: return to_string(strategy);
+    case Kind::simulated_best:
+      switch (sim_distribution) {
+        case SimDistribution::analytic: return "BestEV";
+        case SimDistribution::exponential: return "Sim-Exp";
+        case SimDistribution::weibull: return "Sim-Weibull-" + format_double(sim_shape, 1);
+      }
+  }
+  return "?";
 }
 
 TaskGraph ScenarioSpec::instantiate() const {
@@ -58,6 +80,14 @@ Rng ScenarioSpec::rng() const {
   mix(linearize.seed);
   mix(stride);
   mix(scenario_index);
+  if (policy.kind == ScenarioPolicy::Kind::simulated_best) {
+    // Mixed only for the new kind so every pre-existing scenario keeps
+    // its historical stream.
+    mix(static_cast<std::uint64_t>(policy.sim_distribution));
+    mix(std::bit_cast<std::uint64_t>(policy.sim_shape));
+    mix(policy.sim_trials);
+    mix(policy.sim_seed);
+  }
   return Rng(state);
 }
 

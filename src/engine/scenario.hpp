@@ -20,21 +20,41 @@
 
 namespace fpsched::engine {
 
-/// What to run on a scenario's instance: one fixed heuristic, or the best
+/// What to run on a scenario's instance: one fixed heuristic, the best
 /// linearization for a checkpointing strategy (the selection rule of
-/// Figures 3 and 5-7; non-budgeted strategies are DF-only per Section 5).
+/// Figures 3 and 5-7; non-budgeted strategies are DF-only per Section 5),
+/// or — for the robustness study — the schedule that wins across ALL
+/// heuristics, re-scored under a simulated renewal failure process.
 struct ScenarioPolicy {
-  enum class Kind : std::uint8_t { fixed_heuristic, best_linearization };
+  enum class Kind : std::uint8_t { fixed_heuristic, best_linearization, simulated_best };
+
+  /// How a simulated_best policy scores the winning schedule: `analytic`
+  /// reports the exponential-model expectation unchanged (the sanity
+  /// baseline row), `exponential`/`weibull` replace it with the
+  /// Monte-Carlo mean makespan under that inter-failure distribution
+  /// (Weibull keeps the exponential model's MTBF, so only the shape of
+  /// the failure law changes — the robustness question of Section 7).
+  enum class SimDistribution : std::uint8_t { analytic, exponential, weibull };
 
   Kind kind = Kind::fixed_heuristic;
   HeuristicSpec heuristic;                           // fixed_heuristic
   CkptStrategy strategy = CkptStrategy::by_weight;   // best_linearization
 
+  // simulated_best only. sim_seed is part of the spec so results are
+  // identical under any sharding or thread count.
+  SimDistribution sim_distribution = SimDistribution::analytic;
+  double sim_shape = 1.0;        // Weibull shape (ignored otherwise)
+  std::size_t sim_trials = 20000;
+  std::uint64_t sim_seed = 31;
+
   static ScenarioPolicy fixed(HeuristicSpec spec);
   static ScenarioPolicy best_lin(CkptStrategy strategy);
+  static ScenarioPolicy simulated(SimDistribution distribution, double shape, std::size_t trials,
+                                  std::uint64_t seed = 31);
 
-  /// Series label: the heuristic name ("DF-CkptW") or the strategy name
-  /// ("CkptW") — matching the paper's figure legends.
+  /// Series label: the heuristic name ("DF-CkptW"), the strategy name
+  /// ("CkptW") — matching the paper's figure legends — or the simulated
+  /// distribution ("BestEV", "Sim-Exp", "Sim-Weibull-0.7").
   std::string name() const;
 };
 

@@ -1,0 +1,68 @@
+// Opt-in scoped tracing exported as chrome://tracing JSON.
+//
+// Tracing is off by default and costs one relaxed atomic load per
+// TraceSpan construction. When enabled (start_tracing(), or --trace on
+// the CLIs), each span records a complete "X" event into a per-thread
+// buffer; buffers are owned by a process-wide recorder so they survive
+// thread exit (engine worker threads come and go per run). Spans carry
+// no payload back into the traced code, so — like metrics — tracing can
+// never perturb the deterministic output path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace fpsched::obs {
+
+bool tracing_enabled();
+
+/// Clears all previously recorded events and starts recording. The
+/// trace clock epoch is reset so exported timestamps start near zero.
+void start_tracing();
+
+/// Stops recording; already-recorded events remain exportable.
+void stop_tracing();
+
+/// The merged trace as a chrome://tracing JSON document
+/// ({"traceEvents":[...]}). May be called while tracing is active.
+std::string trace_json();
+
+/// Writes trace_json() to `path`; throws Error on I/O failure.
+void write_trace_file(const std::string& path);
+
+namespace detail {
+void record_event(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns);
+}  // namespace detail
+
+/// RAII span: records [construction, destruction) as one trace event.
+/// The name-factory constructor only invokes the callable when tracing
+/// is enabled, so label strings are never built on the fast path.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (tracing_enabled()) begin(name);
+  }
+
+  template <typename NameFn, typename = decltype(std::declval<NameFn&>()())>
+  explicit TraceSpan(NameFn&& make_name) {
+    if (tracing_enabled()) begin(make_name());
+  }
+
+  ~TraceSpan() {
+    if (active_) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(std::string name);
+  void end();
+
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace fpsched::obs

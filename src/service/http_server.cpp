@@ -8,11 +8,34 @@
 #include <utility>
 
 #include "engine/result_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace fpsched::service {
 
 namespace {
+
+// Telemetry only (see obs/metrics.hpp). The per-route/status request
+// counter is registered lazily per label pair at request completion —
+// one registry lookup per request is fine at control-plane traffic.
+struct HttpMetrics {
+  obs::Histogram& request_seconds;
+  obs::Counter& response_bytes;
+};
+
+HttpMetrics& http_metrics() {
+  static HttpMetrics* metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    return new HttpMetrics{
+        reg.histogram("fpsched_http_request_seconds",
+                      "wall seconds per request, read to response end",
+                      obs::latency_buckets_seconds()),
+        reg.counter("fpsched_http_response_bytes_total",
+                    "response payload bytes handed to client sockets")};
+  }();
+  return *metrics;
+}
 
 // Request-size ceilings: the service's requests are tiny (query params
 // and small JSON bodies), so anything bigger is a client bug or abuse.
@@ -119,6 +142,7 @@ bool HttpResponseWriter::write_head(int status, std::string_view content_type, b
   ensure(!started_, "response already started");
   started_ = true;
   chunked_ = chunked;
+  status_ = status;
   std::string head = "HTTP/1.1 " + std::to_string(status) + " " + std::string(status_text(status)) +
                      "\r\nContent-Type: " + std::string(content_type) + "\r\nConnection: close\r\n";
   if (chunked) {
@@ -134,7 +158,11 @@ bool HttpResponseWriter::write_head(int status, std::string_view content_type, b
 bool HttpResponseWriter::respond(int status, std::string_view content_type,
                                  std::string_view body) {
   if (!write_head(status, content_type, /*chunked=*/false, body.size())) return false;
-  if (!send_all(fd_, body)) broken_ = true;
+  if (!send_all(fd_, body)) {
+    broken_ = true;
+  } else {
+    bytes_sent_ += body.size();
+  }
   return !broken_;
 }
 
@@ -151,7 +179,11 @@ bool HttpResponseWriter::write_chunk(std::string_view data) {
   std::string chunk = size_line;
   chunk += data;
   chunk += "\r\n";
-  if (!send_all(fd_, chunk)) broken_ = true;
+  if (!send_all(fd_, chunk)) {
+    broken_ = true;
+  } else {
+    bytes_sent_ += data.size();
+  }
   return !broken_;
 }
 
@@ -315,13 +347,30 @@ const HttpServer::Route* HttpServer::match(const HttpRequest& request, bool* pat
 
 void HttpServer::handle_connection(FileDescriptor client) {
   set_socket_timeouts(client.get(), options_.socket_timeout_seconds);
+  HttpMetrics& metrics = http_metrics();
   HttpRequest request;
   HttpResponseWriter writer(client.get());
-  const int parse_status = read_request(client.get(), request);
+  std::string route_label = "(unmatched)";
+  {
+    const obs::ScopedTimer timer(metrics.request_seconds);
+    dispatch(client.get(), request, writer, route_label);
+  }
+  metrics.response_bytes.add(writer.bytes_sent());
+  obs::MetricsRegistry::global()
+      .counter("fpsched_http_requests_total", "HTTP requests by route and status",
+               "route=\"" + route_label + "\",status=\"" + std::to_string(writer.status()) + "\"")
+      .add(1);
+}
+
+void HttpServer::dispatch(int fd, HttpRequest& request, HttpResponseWriter& writer,
+                          std::string& route_label) {
+  const int parse_status = read_request(fd, request);
   if (parse_status != 0) {
+    route_label = "(bad-request)";
     send_error(writer, parse_status, "malformed request");
     return;
   }
+  const obs::TraceSpan span([&] { return "http " + request.method + " " + request.path; });
 
   bool path_known = false;
   const Route* route = match(request, &path_known);
@@ -331,6 +380,12 @@ void HttpServer::handle_connection(FileDescriptor client) {
                           : "no such endpoint: " + request.path);
     return;
   }
+  route_label.clear();
+  for (const std::string& segment : route->segments) {
+    route_label += '/';
+    route_label += segment;
+  }
+  if (route_label.empty()) route_label += '/';
   // Re-bind the {name} captures of the winning pattern.
   const std::vector<std::string> segments = split_segments(request.path);
   for (std::size_t i = 0; i < segments.size(); ++i) {

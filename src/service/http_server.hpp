@@ -87,6 +87,11 @@ class HttpResponseWriter {
   bool started() const { return started_; }
   bool chunked() const { return chunked_; }
 
+  /// The status sent (0 until a head is written) and the payload bytes
+  /// handed to the socket so far — the request-metrics inputs.
+  int status() const { return status_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+
  private:
   bool write_head(int status, std::string_view content_type, bool chunked,
                   std::size_t content_length);
@@ -96,6 +101,8 @@ class HttpResponseWriter {
   bool chunked_ = false;   // streaming mode
   bool finished_ = false;  // 0-chunk written
   bool broken_ = false;    // peer gone; suppress further writes
+  int status_ = 0;
+  std::size_t bytes_sent_ = 0;  // body/chunk payload bytes (headers excluded)
 };
 
 using HttpHandler = std::function<void(const HttpRequest&, HttpResponseWriter&)>;
@@ -146,6 +153,10 @@ class HttpServer {
 
   void accept_loop();
   void handle_connection(FileDescriptor client);
+  /// The read/route/handle core of handle_connection; sets `route_label`
+  /// to the matched route's pattern (bounded-cardinality metrics label).
+  void dispatch(int fd, HttpRequest& request, HttpResponseWriter& writer,
+                std::string& route_label);
   const Route* match(const HttpRequest& request, bool* path_known) const;
 
   HttpServerOptions options_;

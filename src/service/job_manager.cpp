@@ -1,8 +1,67 @@
 #include "service/job_manager.hpp"
 
 #include "engine/result_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fpsched::service {
+
+namespace {
+
+// Telemetry only (see obs/metrics.hpp). The by-state gauges are labeled
+// siblings of one fpsched_jobs family.
+struct JobMetrics {
+  obs::Gauge& queued;
+  obs::Gauge& running;
+  obs::Gauge& completed;
+  obs::Gauge& failed;
+  obs::Counter& submitted;
+  obs::Counter& finished_ok;
+  obs::Counter& finished_err;
+  obs::Gauge& record_lines;
+  obs::Histogram& run_seconds;
+};
+
+JobMetrics& job_metrics() {
+  static JobMetrics* metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const std::string_view help = "jobs currently held, by state";
+    return new JobMetrics{reg.gauge("fpsched_jobs", help, "state=\"queued\""),
+                          reg.gauge("fpsched_jobs", help, "state=\"running\""),
+                          reg.gauge("fpsched_jobs", help, "state=\"completed\""),
+                          reg.gauge("fpsched_jobs", help, "state=\"failed\""),
+                          reg.counter("fpsched_jobs_submitted_total", "jobs accepted by submit()"),
+                          reg.counter("fpsched_jobs_completed_total", "jobs finished successfully"),
+                          reg.counter("fpsched_jobs_failed_total", "jobs finished with an error"),
+                          reg.gauge("fpsched_job_record_lines",
+                                    "NDJSON record lines buffered across all jobs"),
+                          reg.histogram("fpsched_job_run_seconds", "execution seconds per job",
+                                        obs::latency_buckets_seconds())};
+  }();
+  return *metrics;
+}
+
+/// Per-counter advance between two registry snapshots (zero deltas are
+/// dropped). `before` is a prefix of `after` in registration order, but
+/// match by name so a counter registered mid-job still lines up.
+std::vector<std::pair<std::string, std::uint64_t>> counter_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+  std::vector<std::pair<std::string, std::uint64_t>> delta;
+  for (const auto& [name, value] : after) {
+    std::uint64_t base = 0;
+    for (const auto& [before_name, before_value] : before) {
+      if (before_name == name) {
+        base = before_value;
+        break;
+      }
+    }
+    if (value > base) delta.emplace_back(name, value - base);
+  }
+  return delta;
+}
+
+}  // namespace
 
 std::string to_string(JobState state) {
   switch (state) {
@@ -54,8 +113,11 @@ std::uint64_t JobManager::submit(JobRequest request) {
   job->id = next_id_++;
   job->request = std::move(request);
   job->total_scenarios = total;
+  job->submit_ns = obs::monotonic_ns();
   const std::uint64_t id = job->id;
   jobs_.push_back(std::move(job));
+  job_metrics().submitted.add(1);
+  job_metrics().queued.add(1);
   changed_.notify_all();
   return id;
 }
@@ -90,6 +152,43 @@ std::vector<JobStatus> JobManager::jobs() const {
 std::size_t JobManager::job_count() const {
   const LockGuard lock(mutex_);
   return jobs_.size();
+}
+
+std::size_t JobManager::active_count() const {
+  const LockGuard lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& job : jobs_) {
+    if (job->state == JobState::queued || job->state == JobState::running) ++active;
+  }
+  return active;
+}
+
+std::optional<JobStats> JobManager::stats(std::uint64_t id) const {
+  // Both snapshots are taken before the job lock: the registry has its
+  // own mutex and is never held while waiting on ours.
+  const std::uint64_t now = obs::monotonic_ns();
+  const auto counters = obs::MetricsRegistry::global().counter_values();
+  const LockGuard lock(mutex_);
+  for (const auto& job : jobs_) {
+    if (job->id != id) continue;
+    JobStats stats;
+    stats.status = snapshot_locked(*job);
+    stats.queued_ns = (job->start_ns != 0 ? job->start_ns : now) - job->submit_ns;
+    switch (job->state) {
+      case JobState::queued: break;
+      case JobState::running:
+        stats.run_ns = now - job->start_ns;
+        stats.counter_deltas = counter_delta(job->counters_at_start, counters);
+        break;
+      case JobState::completed:
+      case JobState::failed:
+        stats.run_ns = job->finish_ns - job->start_ns;
+        stats.counter_deltas = job->counter_deltas;
+        break;
+    }
+    return stats;
+  }
+  return std::nullopt;
 }
 
 std::optional<JobStatus> JobManager::stream_records(
@@ -130,6 +229,12 @@ void JobManager::executor_loop() {
     if (stopping_) return;  // queued jobs are abandoned on shutdown
     Job& job = *jobs_[next_queued_++];
     job.state = JobState::running;
+    job.start_ns = obs::monotonic_ns();
+    // Registry lock nests briefly inside ours; the registry never waits
+    // on a job-manager lock, so the order cannot invert.
+    job.counters_at_start = obs::MetricsRegistry::global().counter_values();
+    job_metrics().queued.add(-1);
+    job_metrics().running.add(1);
     changed_.notify_all();
     lock.unlock();
     run_job(job);
@@ -142,23 +247,37 @@ void JobManager::run_job(Job& job) {
   // Mutating `job` without the lock is safe for the fields touched here:
   // the executor is the only writer of state/error once running, and
   // lines are only appended under the lock inside the callback.
+  JobMetrics& metrics = job_metrics();
+  const obs::TraceSpan span(
+      [&] { return "job " + std::to_string(job.id) + " " + job.request.experiment; });
+  const obs::ScopedTimer timer(metrics.run_seconds);
+  const auto finish = [&](JobState state, const std::string& error) {
+    const std::uint64_t finish_ns = obs::monotonic_ns();
+    const auto counters = obs::MetricsRegistry::global().counter_values();
+    metrics.running.add(-1);
+    (state == JobState::completed ? metrics.completed : metrics.failed).add(1);
+    (state == JobState::completed ? metrics.finished_ok : metrics.finished_err).add(1);
+    const LockGuard lock(mutex_);
+    job.state = state;
+    job.error = error;
+    job.finish_ns = finish_ns;
+    job.counter_deltas = counter_delta(job.counters_at_start, counters);
+  };
   try {
     const engine::Experiment& experiment = registry_.find(job.request.experiment);
     engine::CallbackSink sink([&](const engine::ResultRecord& record) {
       std::string line = engine::to_json(record);
       line += '\n';
+      job_metrics().record_lines.add(1);
       const LockGuard lock(mutex_);
       job.lines.push_back(std::move(line));
       changed_.notify_all();
     });
     engine::ResultSink* sinks[] = {&sink};
     engine::run_experiment(experiment, job.request.options, sinks, nullptr);
-    const LockGuard lock(mutex_);
-    job.state = JobState::completed;
+    finish(JobState::completed, {});
   } catch (const std::exception& e) {
-    const LockGuard lock(mutex_);
-    job.state = JobState::failed;
-    job.error = e.what();
+    finish(JobState::failed, e.what());
   }
 }
 

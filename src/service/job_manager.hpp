@@ -52,6 +52,26 @@ struct JobStatus {
   std::string error;  // failed jobs only
 };
 
+/// JobStatus plus the job's timing and its slice of the process-wide
+/// telemetry counters (GET /runs/{id}/stats). For a finished job the
+/// delta is frozen at completion; for a running job it is computed live.
+/// Counter deltas are process-wide, so with executors > 1 a concurrent
+/// job's work is attributed to both — exact per-job attribution would
+/// need per-job registries, which the single-executor default makes
+/// unnecessary.
+struct JobStats {
+  JobStatus status;
+  /// Nanoseconds spent queued (submit -> start; running total while
+  /// still queued).
+  std::uint64_t queued_ns = 0;
+  /// Nanoseconds spent executing (start -> finish; running total while
+  /// executing; 0 while queued).
+  std::uint64_t run_ns = 0;
+  /// ("name{labels}", delta) of every counter that advanced while the
+  /// job ran, in registration order.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+};
+
 /// JobManager tuning. (A top-level struct, not a nested one: a nested
 /// class with default member initializers cannot be a `= {}` default
 /// argument inside its enclosing class.)
@@ -87,10 +107,16 @@ class JobManager {
 
   std::optional<JobStatus> status(std::uint64_t id) const;
 
+  /// Status plus timing and counter deltas; nullopt for an unknown id.
+  std::optional<JobStats> stats(std::uint64_t id) const;
+
   /// All jobs, oldest first.
   std::vector<JobStatus> jobs() const;
 
   std::size_t job_count() const;
+
+  /// Jobs currently queued or running (the /healthz active count).
+  std::size_t active_count() const;
 
   /// Streams the job's NDJSON record lines (each with its trailing
   /// newline) through `write`, in record order, blocking until the job
@@ -112,6 +138,14 @@ class JobManager {
     std::vector<std::string> lines;  // NDJSON records, each "\n"-terminated
     std::size_t total_scenarios = 0;
     std::string error;
+    // Telemetry (obs::monotonic_ns timestamps; 0 = not reached yet).
+    std::uint64_t submit_ns = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t finish_ns = 0;
+    /// Counter snapshot taken when the job started running.
+    std::vector<std::pair<std::string, std::uint64_t>> counters_at_start;
+    /// Frozen at completion (terminal states only).
+    std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
   };
 
   JobStatus snapshot_locked(const Job& job) const REQUIRES(mutex_);

@@ -2,9 +2,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "engine/result_sink.hpp"
+#include "obs/metrics.hpp"
+#include "support/version.hpp"
 
 namespace fpsched::service {
 
@@ -106,6 +109,10 @@ JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
         if (downtime < 0.0) bad_value(key, item, "a downtime >= 0");
         request.options.downtimes.push_back(downtime);
       }
+    } else if (key == "trials") {
+      const std::uint64_t trials = parse_u64(key, value);
+      if (trials < 1) bad_value(key, value, "a trial count >= 1");
+      request.options.trials = static_cast<std::size_t>(trials);
     } else if (key == "quick") {
       quick = parse_bool(key, value);
     } else if (key == "instance_cache") {
@@ -114,7 +121,7 @@ JobRequest parse_job_request(const std::map<std::string, std::string>& params) {
       throw InvalidArgument(
           "unknown parameter '" + key +
           "' (known: experiment, sizes, stride, seed, weight_cv, threads, eval_threads, "
-          "eval_math, tasks, downtimes, quick, instance_cache)");
+          "eval_math, tasks, downtimes, trials, quick, instance_cache)");
     }
   }
   if (request.experiment.empty()) {
@@ -274,11 +281,49 @@ std::string to_json(const JobStatus& status) {
   return out;
 }
 
+namespace {
+
+/// Nanoseconds as decimal seconds with microsecond precision — plenty
+/// for queue/run durations, and fixed-width so the JSON is easy to eye.
+std::string seconds_json(std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6f", static_cast<double>(ns) * 1e-9);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_json(const JobStats& stats) {
+  std::string out = to_json(stats.status);
+  out.pop_back();  // re-open the status object to append the stats fields
+  out += ",\"queued_seconds\":";
+  out += seconds_json(stats.queued_ns);
+  out += ",\"run_seconds\":";
+  out += seconds_json(stats.run_ns);
+  out += ",\"metrics_delta\":{";
+  bool first = true;
+  for (const auto& [name, delta] : stats.counter_deltas) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name);
+    out += ':';
+    out += std::to_string(delta);
+  }
+  out += "}}";
+  return out;
+}
+
 // --- ExperimentService -------------------------------------------------
 
 ExperimentService::ExperimentService(ServiceOptions options,
                                      const engine::ExperimentRegistry& registry)
-    : registry_(registry), jobs_(registry, options.jobs), http_(options.http) {
+    : registry_(registry),
+      jobs_(registry, options.jobs),
+      http_(options.http),
+      start_ns_(obs::monotonic_ns()) {
+  obs::MetricsRegistry::global()
+      .gauge("fpsched_info", "build information", "version=\"" + std::string(kVersion) + "\"")
+      .set(1);
   register_routes();
 }
 
@@ -307,8 +352,24 @@ std::optional<std::uint64_t> parse_job_id(const std::string& text) {
 
 void ExperimentService::register_routes() {
   http_.route("GET", "/healthz", [this](const HttpRequest&, HttpResponseWriter& writer) {
-    writer.respond(200, "application/json",
-                   "{\"status\":\"ok\",\"jobs\":" + std::to_string(jobs_.job_count()) + "}\n");
+    const std::uint64_t uptime_s = (obs::monotonic_ns() - start_ns_) / 1'000'000'000;
+    std::string body = "{\"status\":\"ok\",\"version\":";
+    body += json_quote(kVersion);
+    body += ",\"uptime_seconds\":";
+    body += std::to_string(uptime_s);
+    body += ",\"jobs\":";
+    body += std::to_string(jobs_.job_count());
+    body += ",\"active_jobs\":";
+    body += std::to_string(jobs_.active_count());
+    body += "}\n";
+    writer.respond(200, "application/json", body);
+  });
+
+  http_.route("GET", "/metrics", [this](const HttpRequest&, HttpResponseWriter& writer) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.gauge("fpsched_uptime_seconds", "seconds since service start")
+        .set(static_cast<std::int64_t>((obs::monotonic_ns() - start_ns_) / 1'000'000'000));
+    writer.respond(200, "text/plain; version=0.0.4; charset=utf-8", registry.prometheus());
   });
 
   http_.route("GET", "/experiments", [this](const HttpRequest&, HttpResponseWriter& writer) {
@@ -362,6 +423,17 @@ void ExperimentService::register_routes() {
       return;
     }
     writer.respond(200, "application/json", to_json(*status) + "\n");
+  });
+
+  http_.route("GET", "/runs/{id}/stats", [this](const HttpRequest& request,
+                                                HttpResponseWriter& writer) {
+    const auto id = parse_job_id(request.path_params.at("id"));
+    const auto stats = id ? jobs_.stats(*id) : std::nullopt;
+    if (!stats) {
+      writer.respond(404, "application/json", "{\"error\":\"no such run\"}\n");
+      return;
+    }
+    writer.respond(200, "application/json", to_json(*stats) + "\n");
   });
 
   http_.route("GET", "/runs/{id}/records", [this](const HttpRequest& request,

@@ -2,13 +2,18 @@
 // JobManager — the serving layer of fpsched_serve.
 //
 // Endpoints (all responses JSON unless noted):
-//   GET  /healthz             liveness: {"status":"ok","jobs":N}
+//   GET  /healthz             liveness: {"status":"ok","version":...,
+//                             "uptime_seconds":...,"jobs":N,"active_jobs":N}
+//   GET  /metrics             Prometheus text exposition of the process
+//                             telemetry registry (text/plain)
 //   GET  /experiments         the registry listing
 //   POST /runs                submit a run; experiment name + FigureOptions
 //                             from query params and/or a flat JSON body
 //                             (query wins on conflicts); 201 + job status
 //   GET  /runs                every job's status
 //   GET  /runs/{id}           one job's status
+//   GET  /runs/{id}/stats     status + queue/run timing + the telemetry
+//                             counters that advanced while the job ran
 //   GET  /runs/{id}/records   chunked application/x-ndjson stream of the
 //                             job's records, live as scenarios complete;
 //                             the full stream is byte-identical to
@@ -43,6 +48,11 @@ std::map<std::string, std::string> parse_flat_json(std::string_view body);
 /// One job status as a JSON object (no trailing newline).
 std::string to_json(const JobStatus& status);
 
+/// Job stats as a JSON object: the status fields plus "queued_seconds",
+/// "run_seconds" (decimal seconds) and a "metrics_delta" object of the
+/// telemetry counters that advanced during the run (no trailing newline).
+std::string to_json(const JobStats& stats);
+
 struct ServiceOptions {
   HttpServerOptions http;
   JobManager::Options jobs;
@@ -73,6 +83,8 @@ class ExperimentService {
   const engine::ExperimentRegistry& registry_;
   JobManager jobs_;
   HttpServer http_;
+  /// Construction timestamp (obs::monotonic_ns) — /healthz uptime.
+  std::uint64_t start_ns_ = 0;
 };
 
 }  // namespace fpsched::service

@@ -1,0 +1,11 @@
+// Single source of truth for the build's version string, reported by
+// GET /healthz and the fpsched_info metric.
+#pragma once
+
+#include <string_view>
+
+namespace fpsched {
+
+inline constexpr std::string_view kVersion = "0.9.0";
+
+}  // namespace fpsched

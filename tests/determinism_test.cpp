@@ -12,6 +12,7 @@
 
 #include "engine/experiment.hpp"
 #include "engine/result_sink.hpp"
+#include "obs/trace.hpp"
 #include "support/env.hpp"
 
 namespace fpsched::engine {
@@ -159,6 +160,51 @@ TEST(DeterminismAudit, ShardsConcatenateUnderNestedScheduling) {
     merged += run_ndjson("fig2", wide, {index, shards});
   }
   EXPECT_EQ(serial, merged);
+}
+
+TEST(DeterminismAudit, TelemetryAndTracingNeverTouchRecordBytes) {
+  // The observability hard invariant: metrics are always-on and tracing
+  // is opt-in, and neither may perturb a single figure byte. Compare the
+  // fig2 and fig7 streams produced with tracing off against the same
+  // runs with tracing on (metrics accumulate in both — they have no off
+  // switch, which is exactly why they must stay out of the output path).
+  FigureOptions options = audit_options();
+  options.tasks = 60;
+  options.threads = 4;
+  const std::string fig2_plain = run_ndjson("fig2", options);
+  const std::string fig7_plain = run_ndjson("fig7", options);
+
+  obs::start_tracing();
+  const std::string fig2_traced = run_ndjson("fig2", options);
+  const std::string fig7_traced = run_ndjson("fig7", options);
+  obs::stop_tracing();
+
+  EXPECT_EQ(fig2_plain, fig2_traced);
+  EXPECT_EQ(fig7_plain, fig7_traced);
+  // And the trace actually captured the runs (an empty trace would make
+  // the byte-compare vacuous).
+  const std::string trace = obs::trace_json();
+  EXPECT_NE(trace.find("\"name\":\"experiment fig2\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"experiment fig7\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(DeterminismAudit, RobustnessSimulationIsThreadInvariant) {
+  // The registry-migrated robustness study adds the simulated-best
+  // policy path (Monte-Carlo trials inside a scenario); its records must
+  // obey the same contract. Tiny trial count: the audit checks bytes,
+  // not statistics.
+  FigureOptions options;
+  options.tasks = 40;
+  options.trials = 25;
+  options.threads = 1;
+  const std::string serial = run_ndjson("robustness", options);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("\"policy_kind\":\"simulated_best\""), std::string::npos);
+  EXPECT_NE(serial.find("\"sim_distribution\":\"weibull\""), std::string::npos);
+  options.threads = 8;
+  options.eval_threads = 2;
+  EXPECT_EQ(serial, run_ndjson("robustness", options));
 }
 
 TEST(DeterminismAudit, Fig7SweepExperimentIsInvariantToo) {

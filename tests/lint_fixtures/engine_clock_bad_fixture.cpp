@@ -1,0 +1,27 @@
+// NOT compiled — lint self-test fixture (see lint_determinism.py
+// --self-test). Known-bad wall-clock reads in a deterministic layer:
+// every line carrying an EXPECT marker must fire exactly that rule.
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace fpsched {
+
+double scenario_wall_seconds() {
+  const auto start = std::chrono::steady_clock::now();  // EXPECT[wall-clock]
+  const auto also = std::chrono::system_clock::now();   // EXPECT[wall-clock]
+  const auto hi = std::chrono::high_resolution_clock::now();  // EXPECT[wall-clock]
+  return std::chrono::duration<double>(also - start + (hi - hi)).count();
+}
+
+std::uint64_t sanctioned_timing() {
+  // The telemetry entry point is the fix, not a suppression target.
+  return obs::monotonic_ns();
+}
+
+std::uint64_t justified_clock_read() {
+  // determinism-ok: feeds a log banner only, never a record byte
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fpsched

@@ -1,0 +1,13 @@
+// NOT compiled — lint self-test fixture. Lives under an obs/ path
+// segment, so the wall-clock rule must NOT fire here (the telemetry
+// layer is the one sanctioned clock reader); no EXPECT markers.
+#include <chrono>
+
+namespace fpsched::obs {
+
+std::uint64_t monotonic_ns_like() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fpsched::obs

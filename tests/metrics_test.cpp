@@ -1,0 +1,173 @@
+// Telemetry registry suite: counter/gauge/histogram semantics, the
+// Prometheus text exposition (golden — scrapers parse this format, so
+// its bytes are pinned), the JSON rendering, and thread-safety of the
+// relaxed-atomic hot path. The goldens use only exactly-representable
+// doubles (0.25, 0.5, 8.0), so the shortest-round-trip formatter has one
+// correct answer and the expected strings cannot rot with libm.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fpsched::obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndSetMax) {
+  Gauge gauge;
+  gauge.set(5);
+  gauge.add(-2);
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.set_max(2);  // lower value loses
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.set_max(9);
+  EXPECT_EQ(gauge.value(), 9);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  const double bounds[] = {0.5, 1.0, 4.0};
+  Histogram hist{std::span<const double>(bounds)};
+  hist.observe(0.25);
+  hist.observe(0.5);  // boundary values land in their bucket (le = <=)
+  hist.observe(8.0);  // overflow bucket
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 8.75);
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(1), 0u);
+  EXPECT_EQ(hist.bucket(2), 0u);
+  EXPECT_EQ(hist.bucket(3), 1u);  // +Inf
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  const double unsorted[] = {1.0, 0.5};
+  EXPECT_THROW(Histogram{std::span<const double>(unsorted)}, Error);
+  const double infinite[] = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(Histogram{std::span<const double>(infinite)}, Error);
+}
+
+/// Loads `registry` with one of everything, in a fixed registration
+/// order (labeled counter siblings adjacent, sharing one family header).
+void fill_golden(MetricsRegistry& registry) {
+  registry.counter("requests_total", "total requests").add(3);
+  registry.counter("by_route", "requests by route", "route=\"/a\"").add(1);
+  registry.counter("by_route", "requests by route", "route=\"/b\"").add(2);
+  registry.gauge("queue_depth", "queued items").set(9);
+  const double bounds[] = {0.5, 1.0, 4.0};
+  Histogram& hist = registry.histogram("latency", "seconds per request", bounds);
+  hist.observe(0.25);
+  hist.observe(0.5);
+  hist.observe(8.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionGolden) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  EXPECT_EQ(registry.prometheus(),
+            "# HELP requests_total total requests\n"
+            "# TYPE requests_total counter\n"
+            "requests_total 3\n"
+            "# HELP by_route requests by route\n"
+            "# TYPE by_route counter\n"
+            "by_route{route=\"/a\"} 1\n"
+            "by_route{route=\"/b\"} 2\n"
+            "# HELP queue_depth queued items\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 9\n"
+            "# HELP latency seconds per request\n"
+            "# TYPE latency histogram\n"
+            "latency_bucket{le=\"0.5\"} 2\n"
+            "latency_bucket{le=\"1\"} 2\n"
+            "latency_bucket{le=\"4\"} 2\n"
+            "latency_bucket{le=\"+Inf\"} 3\n"
+            "latency_sum 8.75\n"
+            "latency_count 3\n");
+}
+
+TEST(MetricsRegistryTest, JsonGolden) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  EXPECT_EQ(registry.json(),
+            "{\"counters\":{\"requests_total\":3,\"by_route{route=\\\"/a\\\"}\":1,"
+            "\"by_route{route=\\\"/b\\\"}\":2},\"gauges\":{\"queue_depth\":9},"
+            "\"histograms\":{\"latency\":{\"count\":3,\"sum\":8.75,\"buckets\":["
+            "{\"le\":\"0.5\",\"count\":2},{\"le\":\"1\",\"count\":2},"
+            "{\"le\":\"4\",\"count\":2},{\"le\":\"+Inf\",\"count\":3}]}}}");
+}
+
+TEST(MetricsRegistryTest, DedupsByNameAndLabelsAndRejectsTypeClashes) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("hits", "h");
+  first.add(7);
+  // Same (name, labels) returns the same instrument; different labels a
+  // sibling.
+  EXPECT_EQ(&registry.counter("hits", "h"), &first);
+  EXPECT_NE(&registry.counter("hits", "h", "kind=\"x\""), &first);
+  EXPECT_EQ(registry.counter("hits", "h").value(), 7u);
+  EXPECT_THROW(registry.gauge("hits", "h"), Error);
+}
+
+TEST(MetricsRegistryTest, CounterValuesSnapshotsCountersOnly) {
+  MetricsRegistry registry;
+  registry.counter("a_total", "a").add(2);
+  registry.gauge("depth", "d").set(5);
+  registry.counter("b_total", "b", "k=\"v\"").add(1);
+  const auto values = registry.counter_values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], (std::pair<std::string, std::uint64_t>{"a_total", 2}));
+  EXPECT_EQ(values[1], (std::pair<std::string, std::uint64_t>{"b_total{k=\"v\"}", 1}));
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("spins_total", "concurrent adds");
+  const double bounds[] = {0.5};
+  Histogram& hist = registry.histogram("spin_sizes", "concurrent observes", bounds);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        hist.observe(0.25);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(hist.sum(), kThreads * kPerThread * 0.25);  // exact: sums of 0.25
+}
+
+TEST(ScopedTimerTest, ObservesSecondsAndAccumulatesNs) {
+  MetricsRegistry registry;
+  Histogram& seconds = registry.histogram("op_seconds", "s", latency_buckets_seconds());
+  Counter& ns = registry.counter("op_ns_total", "ns");
+  { const ScopedTimer timer(&seconds, &ns); }
+  EXPECT_EQ(seconds.count(), 1u);
+  EXPECT_GE(seconds.sum(), 0.0);
+  { const ScopedTimer timer(seconds); }  // histogram-only convenience form
+  EXPECT_EQ(seconds.count(), 2u);
+}
+
+TEST(MonotonicNsTest, NeverGoesBackwards) {
+  const std::uint64_t a = monotonic_ns();
+  const std::uint64_t b = monotonic_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace fpsched::obs

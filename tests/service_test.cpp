@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/result_sink.hpp"
@@ -242,12 +244,92 @@ class ExperimentServiceTest : public ::testing::Test {
 TEST_F(ExperimentServiceTest, HealthAndExperimentListing) {
   const std::string health = http_get(port(), "/healthz");
   EXPECT_EQ(http_status(health), 200);
-  EXPECT_NE(http_body(health).find("\"status\":\"ok\""), std::string::npos);
+  const std::string body = http_body(health);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"jobs\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"active_jobs\":0"), std::string::npos);
 
   const std::string listing = http_get(port(), "/experiments");
   EXPECT_EQ(http_status(listing), 200);
   EXPECT_EQ(http_body(listing),
             "[{\"name\":\"tiny\",\"summary\":\"tiny test experiment\"}]\n");
+}
+
+TEST_F(ExperimentServiceTest, MetricsExposesEveryInstrumentedLayer) {
+  // Run a job first so the engine/evaluator/job families exist and have
+  // advanced (registration is lazy, on first touch of each layer).
+  ASSERT_EQ(http_status(http_exchange(
+                port(), "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n")),
+            201);
+  http_get(port(), "/runs/1/records");  // drain: the job is finished after this
+
+  const std::string response = http_get(port(), "/metrics");
+  ASSERT_EQ(http_status(response), 200);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string metrics = http_body(response);
+  // One family per instrumented layer: evaluator, instance cache,
+  // engine, job manager, HTTP server — plus the service info gauge.
+  for (const std::string_view family :
+       {"# TYPE fpsched_eval_runs_total counter", "# TYPE fpsched_instance_cache_misses_total",
+        "# TYPE fpsched_engine_scenarios_total", "# TYPE fpsched_jobs gauge",
+        "# TYPE fpsched_http_requests_total", "# TYPE fpsched_http_request_seconds histogram",
+        "fpsched_info{version=", "fpsched_uptime_seconds"}) {
+    EXPECT_NE(metrics.find(family), std::string::npos) << "missing: " << family;
+  }
+  // Presence only, not the value: the by-state gauges are process-global
+  // and accumulate across the suite's earlier JobManager tests.
+  EXPECT_NE(metrics.find("fpsched_jobs{state=\"completed\"}"), std::string::npos) << metrics;
+  // The route label is the registered pattern, not the concrete path —
+  // bounded cardinality under arbitrary ids.
+  EXPECT_NE(metrics.find("fpsched_http_requests_total{route=\"/runs/{id}/records\","
+                         "status=\"200\"}"),
+            std::string::npos)
+      << metrics;
+}
+
+TEST_F(ExperimentServiceTest, ConcurrentScrapesDuringARunStayWellFormed) {
+  ASSERT_EQ(http_status(http_exchange(
+                port(),
+                "POST /runs?experiment=tiny&sizes=50%2C60&threads=2 HTTP/1.1\r\nHost: "
+                "t\r\n\r\n")),
+            201);
+  // Scrape repeatedly while the job executes; every response must be a
+  // complete 200 exposition (the registry lock only guards snapshots).
+  std::atomic<bool> done{false};
+  std::atomic<int> bad{0};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string scrape = http_get(port(), "/metrics");
+      if (http_status(scrape) != 200 ||
+          http_body(scrape).find("# TYPE fpsched_jobs gauge") == std::string::npos) {
+        bad.fetch_add(1);
+      }
+    }
+  });
+  const std::string stream = http_get(port(), "/runs/1/records");
+  done.store(true);
+  scraper.join();
+  EXPECT_EQ(http_status(stream), 200);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_F(ExperimentServiceTest, RunStatsReportTimingAndCounterDeltas) {
+  ASSERT_EQ(http_status(http_exchange(
+                port(), "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n")),
+            201);
+  http_get(port(), "/runs/1/records");  // wait for completion
+
+  const std::string response = http_get(port(), "/runs/1/stats");
+  ASSERT_EQ(http_status(response), 200);
+  const std::string stats = http_body(response);
+  EXPECT_NE(stats.find("\"state\":\"completed\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"queued_seconds\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"run_seconds\":"), std::string::npos);
+  // The frozen delta must attribute this job's scenarios to it.
+  EXPECT_NE(stats.find("\"fpsched_engine_scenarios_total\":2"), std::string::npos) << stats;
+  EXPECT_EQ(http_status(http_get(port(), "/runs/9/stats")), 404);
 }
 
 TEST_F(ExperimentServiceTest, SubmittedRunStreamsReferenceBytes) {

@@ -1,0 +1,105 @@
+// Trace-export suite: RAII spans across threads must render to a
+// well-formed chrome://tracing JSON document, spans while tracing is off
+// must cost nothing and record nothing, and start_tracing must reset the
+// buffers so consecutive traced runs do not bleed into each other.
+//
+// Tracing state is process-global, so the tests serialize through a
+// single suite (gtest runs tests in one thread) and always leave tracing
+// stopped.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fpsched::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceTest, DisabledSpansRecordNothingAndSkipNameConstruction) {
+  ASSERT_FALSE(tracing_enabled());
+  int name_calls = 0;
+  {
+    const TraceSpan literal("never recorded");
+    const TraceSpan lazy([&] {
+      ++name_calls;
+      return std::string("expensive name");
+    });
+  }
+  EXPECT_EQ(name_calls, 0);  // the lazy-name form must not pay when off
+  start_tracing();
+  stop_tracing();
+  EXPECT_EQ(trace_json(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(TraceTest, MultithreadedSpansExportWellFormedJson) {
+  start_tracing();
+  {
+    const TraceSpan outer("outer \"quoted\" span");
+    constexpr int kThreads = 3;
+    constexpr int kSpansPerThread = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          const TraceSpan span(
+              [&] { return "worker " + std::to_string(t) + " op " + std::to_string(i); });
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  stop_tracing();
+  const std::string json = trace_json();
+
+  EXPECT_TRUE(json.starts_with("{\"traceEvents\":["));
+  EXPECT_TRUE(json.ends_with("]}\n"));
+  // One complete event per span: 3 threads x 4 spans + the outer one.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 13u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"fpsched\""), 13u);
+  EXPECT_EQ(count_occurrences(json, "\"pid\":1"), 13u);
+  // Quotes inside span names must arrive escaped.
+  EXPECT_NE(json.find("outer \\\"quoted\\\" span"), std::string::npos);
+  EXPECT_NE(json.find("worker 0 op 3"), std::string::npos);
+  // Balanced braces/brackets — the cheap well-formedness invariant the
+  // CI leg re-checks with a real JSON parser.
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  EXPECT_EQ(count_occurrences(json, "["), count_occurrences(json, "]"));
+}
+
+TEST(TraceTest, StartTracingResetsPriorEvents) {
+  start_tracing();
+  { const TraceSpan span("from the first run"); }
+  stop_tracing();
+  ASSERT_NE(trace_json().find("from the first run"), std::string::npos);
+
+  start_tracing();
+  { const TraceSpan span("from the second run"); }
+  stop_tracing();
+  const std::string json = trace_json();
+  EXPECT_EQ(json.find("from the first run"), std::string::npos);
+  EXPECT_NE(json.find("from the second run"), std::string::npos);
+}
+
+TEST(TraceTest, SpansOpenAcrossStopAreDropped) {
+  start_tracing();
+  {
+    const TraceSpan span("open when tracing stopped");
+    stop_tracing();
+  }
+  EXPECT_EQ(trace_json().find("open when tracing stopped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpsched::obs

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (the `GET /metrics` body).
+
+Checks the grammar scrapers actually rely on:
+
+  - every line is a comment (# HELP / # TYPE), blank, or a sample line
+    `name{labels} value` with a parseable value
+  - every sample's family has a `# TYPE` line before its first sample
+  - histogram families are complete and consistent: bucket `le` bounds
+    strictly increasing, bucket counts cumulative (non-decreasing), a
+    `+Inf` bucket present and equal to `_count`, and `_sum` present
+
+`--require PREFIX` (repeatable) asserts at least one sample whose name
+starts with PREFIX exists — CI uses it to prove every instrumented layer
+actually reported. Reads stdin or a file argument. Exit 0 when clean,
+1 on any violation (all violations are listed, not just the first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$"  # optional timestamp
+)
+HELP_RE = re.compile(r"^# HELP (?P<name>\S+) .+$")
+TYPE_RE = re.compile(r"^# TYPE (?P<name>\S+) (?P<type>counter|gauge|histogram|summary|untyped)$")
+LE_RE = re.compile(r'(?:^|,)le="(?P<le>[^"]+)"')
+
+
+def parse_value(text: str) -> float | None:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_family(name: str) -> str:
+    """The family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text: str, required: list[str]) -> list[str]:
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    # family -> list of (le, cumulative count); plus seen _sum/_count.
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+    seen_names: list[str] = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if HELP_RE.match(line):
+                continue
+            match = TYPE_RE.match(line)
+            if match:
+                types[match.group("name")] = match.group("type")
+                continue
+            errors.append(f"line {lineno}: unrecognized comment line: {line!r}")
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: not a valid sample line: {line!r}")
+            continue
+        name = match.group("name")
+        value = parse_value(match.group("value"))
+        if value is None:
+            errors.append(f"line {lineno}: unparseable value in: {line!r}")
+            continue
+        seen_names.append(name)
+        family = base_family(name)
+        declared = types.get(name) or types.get(family)
+        if declared is None:
+            errors.append(f"line {lineno}: sample '{name}' has no preceding # TYPE line")
+            continue
+        if declared == "histogram":
+            if name.endswith("_bucket"):
+                labels = match.group("labels") or ""
+                le_match = LE_RE.search(labels)
+                if not le_match:
+                    errors.append(f"line {lineno}: histogram bucket without an le label")
+                    continue
+                le = parse_value(le_match.group("le"))
+                if le is None:
+                    errors.append(f"line {lineno}: unparseable le bound")
+                    continue
+                buckets.setdefault(family, []).append((le, value))
+            elif name.endswith("_sum"):
+                sums[family] = value
+            elif name.endswith("_count"):
+                counts[family] = value
+            elif name == family:
+                errors.append(f"line {lineno}: bare sample for histogram family '{family}'")
+
+    for family, series in sorted(buckets.items()):
+        les = [le for le, _ in series]
+        if les != sorted(les) or len(set(les)) != len(les):
+            errors.append(f"histogram '{family}': le bounds not strictly increasing: {les}")
+        values = [v for _, v in series]
+        if values != sorted(values):
+            errors.append(f"histogram '{family}': bucket counts not cumulative: {values}")
+        if not les or les[-1] != math.inf:
+            errors.append(f"histogram '{family}': missing the +Inf bucket")
+        elif family in counts and values[-1] != counts[family]:
+            errors.append(
+                f"histogram '{family}': +Inf bucket {values[-1]} != _count {counts[family]}"
+            )
+        if family not in sums:
+            errors.append(f"histogram '{family}': missing _sum")
+        if family not in counts:
+            errors.append(f"histogram '{family}': missing _count")
+
+    for prefix in required:
+        if not any(name.startswith(prefix) for name in seen_names):
+            errors.append(f"required metric prefix '{prefix}' has no samples")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", help="exposition file (default: stdin)")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="assert at least one sample name starts with PREFIX (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if args.path:
+        with open(args.path, encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    errors = check(text, args.require)
+    for error in errors:
+        print(f"check_metrics_exposition: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line.strip() and not line.startswith("#")
+    )
+    print(f"check_metrics_exposition: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

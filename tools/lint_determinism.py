@@ -14,10 +14,17 @@ functional test:
                        or libstdc++ versions.
 
   raw-rng              std::rand/srand, std::random_device, and
-                       wall-clock reads (time(nullptr), *_clock::now):
-                       all randomness must flow through the seeded
-                       engines in src/support/rng so a (kind, size, seed)
-                       triple always regenerates the same instance.
+                       time(nullptr) reads: all randomness must flow
+                       through the seeded engines in src/support/rng so a
+                       (kind, size, seed) triple always regenerates the
+                       same instance.
+
+  wall-clock           std::chrono::*_clock::now() outside src/obs: a
+                       clock read in a deterministic layer is either dead
+                       weight or a timing dependency about to leak into
+                       output. Timing belongs to the telemetry layer —
+                       use obs::monotonic_ns()/obs::ScopedTimer, whose
+                       values only ever reach /metrics and trace files.
 
   raw-exp              element-wise exp/expm1 in the evaluator pass files
                        (src/core/evaluator*.{hpp,cpp}): the Theorem-3
@@ -26,8 +33,9 @@ functional test:
                        the serial, k-blocked, and fast-math paths keep
                        their pinned FP operation order.
 
-Scanned tree: src/core and src/engine under --root (the layers that
-produce record bytes). A finding is suppressed by a justification
+Scanned tree: src/core, src/engine and src/obs under --root (the layers
+that produce record bytes, plus the telemetry layer — which is exempt
+from wall-clock but not from the other rules). A finding is suppressed by a justification
 comment on the same or the immediately preceding line:
 
     // determinism-ok: <why this cannot affect record bytes>
@@ -47,7 +55,7 @@ import pathlib
 import re
 import sys
 
-SCAN_DIRS = ("src/core", "src/engine")
+SCAN_DIRS = ("src/core", "src/engine", "src/obs")
 SUPPRESS_RE = re.compile(r"//\s*determinism-ok:?\s*(?P<reason>.*?)\s*(?:\*/)?\s*$")
 
 # Each rule: (id, file filter, regex over the code part of a line, message).
@@ -66,10 +74,19 @@ RULES = [
         re.compile(
             r"std::rand\b|(?<![_\w])srand\s*\(|random_device|default_random_engine"
             r"|time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
-            r"|_clock::now\s*\("
         ),
         "unseeded/wall-clock randomness: route all RNG through the seeded "
         "engines in src/support/rng so instances replay from their seed",
+    ),
+    (
+        "wall-clock",
+        # The telemetry layer is the one sanctioned clock reader
+        # (obs::monotonic_ns); everything else must go through it.
+        lambda path: "obs" not in path.parts,
+        re.compile(r"_clock::now\s*\("),
+        "clock read in a deterministic layer: time must flow through "
+        "obs::monotonic_ns()/obs::ScopedTimer so it can only reach "
+        "telemetry sinks, never record bytes",
     ),
     (
         "raw-exp",
@@ -178,7 +195,9 @@ def self_test(fixtures: pathlib.Path) -> int:
     # own comment must stay pristine (e.g. a bare suppression under test).
     expect_next_re = re.compile(r"EXPECT-NEXT\[(?P<rule>[\w-]+)\]")
     failures: list[str] = []
-    paths = sorted(fixtures.glob("*.cpp*"))
+    # rglob: fixtures mirror the scan-tree layout, so the obs/ subdir
+    # exercises the wall-clock path exemption.
+    paths = sorted(fixtures.rglob("*.cpp*"))
     if not paths:
         print(f"lint_determinism --self-test: no fixtures under {fixtures}", file=sys.stderr)
         return 2
