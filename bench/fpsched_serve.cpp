@@ -31,11 +31,21 @@ int main(int argc, char** argv) {
                  "HTTP connection worker threads (also the max concurrent requests; record "
                  "streams each occupy one)");
   cli.add_option("max-jobs", "64",
-                 "max runs held in memory (queued + running + finished); further submissions "
-                 "are rejected with 429");
+                 "max ACTIVE runs (queued + running); further submissions are rejected with "
+                 "429 (finished runs are evicted by count/age, not counted)");
   cli.add_option("max-task-count", "1000000",
                  "largest per-instance task count a run may request; bigger grid sizes are "
                  "rejected with 400 (instance memory is O(tasks), this caps it)");
+  cli.add_option("cache-dir", "",
+                 "directory for the content-addressed scenario result cache; repeat scenarios "
+                 "replay their bytes instead of recomputing, surviving restarts (empty = "
+                 "in-memory cache only)");
+  cli.add_option("max-record-lines", "0",
+                 "per-run record-buffer ceiling in NDJSON lines; at the ceiling producers "
+                 "trim cache-replayable lines or block until streams catch up (0 = unbounded)");
+  cli.add_option("job-ttl", "0",
+                 "seconds a finished run is retained for inspection before eviction "
+                 "(0 = keep until the finished-run count ceiling evicts it)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const std::size_t port = cli.get_count("port");
@@ -46,6 +56,9 @@ int main(int argc, char** argv) {
     options.http.threads = cli.get_count("threads", 1);
     options.jobs.max_jobs = cli.get_count("max-jobs", 1);
     options.jobs.max_task_count = cli.get_count("max-task-count", 1);
+    options.jobs.cache.directory = cli.get_string("cache-dir");
+    options.jobs.max_record_lines = cli.get_count("max-record-lines");
+    options.jobs.job_ttl_seconds = cli.get_count("job-ttl");
 
     ignore_sigpipe();
     // Block the shutdown signals before any thread exists so every

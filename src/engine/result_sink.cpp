@@ -177,12 +177,14 @@ std::string_view sim_distribution_name(ScenarioPolicy::SimDistribution distribut
 
 }  // namespace
 
-std::string to_json(const ResultRecord& record) {
-  const ScenarioSpec& spec = record.result.spec;
+std::string record_json_prefix(std::string_view experiment, std::string_view panel) {
+  return "{\"experiment\":" + json_quote(experiment) + ",\"panel\":" + json_quote(panel) + ",";
+}
+
+std::string record_body_json(const ScenarioResult& result) {
+  const ScenarioSpec& spec = result.spec;
   std::ostringstream os;
-  os << '{' << "\"experiment\":" << json_quote(record.experiment)
-     << ",\"panel\":" << json_quote(record.panel)
-     << ",\"workflow\":" << json_quote(to_string(spec.workflow))
+  os << "\"workflow\":" << json_quote(to_string(spec.workflow))
      << ",\"tasks\":" << spec.task_count << ",\"lambda\":" << json_number(spec.model.lambda())
      << ",\"downtime\":" << json_number(spec.model.downtime())
      << ",\"cost_model\":" << json_quote(cost_model_kind(spec.cost_model))
@@ -200,11 +202,15 @@ std::string to_json(const ResultRecord& record) {
   os << ",\"workflow_seed\":" << spec.workflow_seed
      << ",\"weight_cv\":" << json_number(spec.weight_cv) << ",\"stride\":" << spec.stride
      << ",\"scenario_index\":" << spec.scenario_index
-     << ",\"linearization\":" << json_quote(to_string(record.result.linearization))
-     << ",\"best_budget\":" << record.result.best_budget
-     << ",\"expected_makespan\":" << json_number(record.result.evaluation.expected_makespan)
-     << ",\"ratio\":" << json_number(record.result.evaluation.ratio) << '}';
+     << ",\"linearization\":" << json_quote(to_string(result.linearization))
+     << ",\"best_budget\":" << result.best_budget
+     << ",\"expected_makespan\":" << json_number(result.evaluation.expected_makespan)
+     << ",\"ratio\":" << json_number(result.evaluation.ratio) << '}';
   return os.str();
+}
+
+std::string to_json(const ResultRecord& record) {
+  return record_json_prefix(record.experiment, record.panel) + record_body_json(record.result);
 }
 
 // --- Sinks -------------------------------------------------------------

@@ -64,6 +64,16 @@ struct ResultRecord {
 /// "-inf" / "nan" since JSON has no literal for them.
 std::string to_json(const ResultRecord& record);
 
+/// The two halves of to_json, split so the service's result cache can
+/// store the provenance-free tail once and re-head it per request:
+/// to_json(record) == record_json_prefix(record.experiment, record.panel)
+///                    + record_body_json(record.result), byte for byte.
+/// The body starts at the "workflow" field and includes the closing
+/// brace; it is a pure function of (spec, math backend) — everything a
+/// ResultCacheKey pins down.
+std::string record_json_prefix(std::string_view experiment, std::string_view panel);
+std::string record_body_json(const ScenarioResult& result);
+
 /// `value` as a quoted JSON string (escapes quotes, backslashes and
 /// control characters) — the one escaper every JSON-emitting layer
 /// (records, HTTP service) shares.

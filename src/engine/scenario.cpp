@@ -91,6 +91,52 @@ Rng ScenarioSpec::rng() const {
   return Rng(state);
 }
 
+std::string canonical_spec_string(const ScenarioSpec& spec) {
+  // Every field, unconditionally (unlike the record JSON, which appends
+  // sim fields only for simulated policies to preserve historical bytes):
+  // the key must distinguish specs even on fields a given policy kind
+  // ignores today, so a future kind that starts reading them cannot
+  // alias a stale cache entry.
+  std::string out = "spec/1";
+  const auto field = [&out](std::string_view name, const std::string& value) {
+    out += ' ';
+    out += name;
+    out += '=';
+    out += value;
+  };
+  const auto num = [](auto value) { return std::to_string(static_cast<std::uint64_t>(value)); };
+  field("wf", num(spec.workflow));
+  field("n", num(spec.task_count));
+  field("lambda", format_double_full(spec.model.lambda()));
+  field("downtime", format_double_full(spec.model.downtime()));
+  field("cost_kind", num(spec.cost_model.kind));
+  field("cost_param", format_double_full(spec.cost_model.parameter));
+  field("policy", num(spec.policy.kind));
+  field("lin", num(spec.policy.heuristic.linearization));
+  field("ckpt", num(spec.policy.heuristic.checkpointing));
+  field("strategy", num(spec.policy.strategy));
+  field("sim_dist", num(spec.policy.sim_distribution));
+  field("sim_shape", format_double_full(spec.policy.sim_shape));
+  field("sim_trials", num(spec.policy.sim_trials));
+  field("sim_seed", num(spec.policy.sim_seed));
+  field("seed", num(spec.workflow_seed));
+  field("cv", format_double_full(spec.weight_cv));
+  field("stride", num(spec.stride));
+  field("outweight", num(spec.linearize.outweight));
+  field("lin_seed", num(spec.linearize.seed));
+  field("index", num(spec.scenario_index));
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 std::string ScenarioSpec::label() const {
   std::ostringstream os;
   os << to_string(workflow) << " n=" << task_count << " lambda=" << model.lambda() << " "

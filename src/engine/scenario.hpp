@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/failure_model.hpp"
@@ -92,6 +93,17 @@ struct ScenarioSpec {
   /// "CyberShake n=200 lambda=0.001 DF-CkptW" — for logs and errors.
   std::string label() const;
 };
+
+/// Canonical, versioned text form of EVERY ScenarioSpec field — the
+/// collision-proof body of content-addressed cache keys. Two specs map to
+/// the same string iff every field (policy sub-fields included) is equal;
+/// doubles serialize at round-trip precision, enums as their numeric
+/// codes. The "spec/1" version prefix invalidates persisted keys whenever
+/// the spec gains a field that changes record bytes.
+std::string canonical_spec_string(const ScenarioSpec& spec);
+
+/// FNV-1a 64-bit hash (the compact index form of canonical key strings).
+std::uint64_t fnv1a64(std::string_view text);
 
 /// Which grid dimension forms the x axis of assembled panels.
 enum class GridAxis : std::uint8_t { task_count, lambda, downtime, checkpoint_cost };

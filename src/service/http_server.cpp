@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <cctype>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <utility>
@@ -81,6 +82,15 @@ std::vector<std::string> split_segments(std::string_view path) {
     segments.emplace_back(path.substr(start, end - start));
     start = end;
   }
+  return segments;
+}
+
+/// Splits the raw request path on its literal '/' separators, THEN
+/// percent-decodes each segment — so encoded bytes (including "%2F")
+/// stay inside their segment and can never add or remove a separator.
+std::vector<std::string> decoded_segments(std::string_view raw_path) {
+  std::vector<std::string> segments = split_segments(raw_path);
+  for (std::string& segment : segments) segment = url_decode(segment);
   return segments;
 }
 
@@ -277,7 +287,11 @@ int read_request(int fd, HttpRequest& request) {
   request.method = std::string(line.substr(0, method_end));
   const std::string_view target = line.substr(method_end + 1, target_end - method_end - 1);
   const std::size_t question = target.find('?');
-  request.path = url_decode(target.substr(0, question));
+  // The path stays RAW here; routing splits it into segments first and
+  // percent-decodes each segment afterwards. Decoding the whole path up
+  // front turned an encoded "%2F" inside a captured {id} into a '/'
+  // routing separator, changing which route a request matched.
+  request.path = std::string(target.substr(0, question));
   if (question != std::string_view::npos) request.query = std::string(target.substr(question + 1));
 
   // Headers, lowercased names.
@@ -300,11 +314,16 @@ int read_request(int fd, HttpRequest& request) {
   if (request.headers.find("transfer-encoding") != request.headers.end()) return 501;
   std::size_t content_length = 0;
   if (const auto it = request.headers.find("content-length"); it != request.headers.end()) {
-    try {
-      content_length = std::stoul(it->second);
-    } catch (const std::exception&) {
-      return 400;
-    }
+    // Full-match std::from_chars, not std::stoul: stoul threw on
+    // non-numeric values but silently accepted trailing garbage
+    // ("12abc") and wrapped negatives ("-1") into huge lengths. An
+    // unsigned from_chars rejects a sign up front, overflow comes back
+    // as an error code, and the end-pointer check refuses any trailing
+    // bytes — everything malformed is a clean 400.
+    const std::string& value = it->second;
+    const auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                           content_length);
+    if (ec != std::errc() || end != value.data() + value.size()) return 400;
   }
   if (content_length > kMaxBodyBytes) return 413;
   const std::size_t body_start = header_end + 4;
@@ -325,7 +344,7 @@ void send_error(HttpResponseWriter& writer, int status, std::string_view message
 }  // namespace
 
 const HttpServer::Route* HttpServer::match(const HttpRequest& request, bool* path_known) const {
-  const std::vector<std::string> segments = split_segments(request.path);
+  const std::vector<std::string> segments = decoded_segments(request.path);
   const Route* found = nullptr;
   for (const Route& route : routes_) {
     if (route.segments.size() != segments.size()) continue;
@@ -387,7 +406,7 @@ void HttpServer::dispatch(int fd, HttpRequest& request, HttpResponseWriter& writ
   }
   if (route_label.empty()) route_label += '/';
   // Re-bind the {name} captures of the winning pattern.
-  const std::vector<std::string> segments = split_segments(request.path);
+  const std::vector<std::string> segments = decoded_segments(request.path);
   for (std::size_t i = 0; i < segments.size(); ++i) {
     const std::string& pattern = route->segments[i];
     if (pattern.size() >= 2 && pattern.front() == '{' && pattern.back() == '}') {

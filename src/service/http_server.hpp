@@ -37,10 +37,12 @@ std::string url_decode(std::string_view text);
 /// a bare "flag" maps to the empty string).
 std::map<std::string, std::string> parse_query(std::string_view query);
 
-/// One parsed request. Header names are lowercased; `path` is
-/// percent-decoded, `query` is the raw query string (parse_query() /
-/// query_params() decode it). `path_params` holds the {name} captures of
-/// the matched route pattern.
+/// One parsed request. Header names are lowercased; `path` is the RAW
+/// request path — routing splits it on literal '/' first and decodes
+/// each segment after, so an encoded %2F can never act as a separator.
+/// `query` is the raw query string (parse_query() / query_params()
+/// decode it). `path_params` holds the {name} captures of the matched
+/// route pattern, percent-decoded.
 struct HttpRequest {
   std::string method;
   std::string path;

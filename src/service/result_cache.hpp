@@ -1,0 +1,117 @@
+// Content-addressed scenario result cache for the HTTP service.
+//
+// Overlapping POST /runs traffic — many clients re-running the paper's
+// figures with shared sub-grids — recomputes identical scenarios from
+// scratch. This cache maps a ResultCacheKey (the canonical serialization
+// of the FULL ScenarioSpec plus the evaluator math backend — a strict
+// superset of the engine's InstanceKey, which deliberately omits the
+// failure model, cost model and policy) to the finished per-scenario
+// NDJSON record body (record_body_json), so a repeat scenario replays its
+// bytes instead of re-running the evaluator. Because every record is a
+// pure function of (spec, math backend), cached and recomputed responses
+// are byte-identical by construction.
+//
+// Persistence: with a directory configured, inserts append to an on-disk
+// NDJSON segment store (`segment-NNNNNN.ndjson`, append-only; a new
+// segment per process start, rotated at max_segment_bytes) and the ctor
+// rebuilds the in-memory index by replaying every segment — so the cache
+// survives server restarts. Malformed lines (torn tail writes after a
+// crash) are skipped, not fatal.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/math_kernels.hpp"
+#include "engine/scenario.hpp"
+#include "support/sync.hpp"
+
+namespace fpsched::service {
+
+/// The identity of one cached record body: the canonical spec text (plus
+/// the math backend, which changes record bytes) and its 64-bit FNV-1a
+/// hash. The hash indexes; the canonical string is stored alongside every
+/// entry and verified on lookup, so a hash collision degrades to a miss
+/// instead of serving another scenario's bytes.
+struct ResultCacheKey {
+  std::uint64_t hash = 0;
+  std::string canonical;
+
+  static ResultCacheKey of(const engine::ScenarioSpec& spec, EvalMath math);
+};
+
+struct ResultCacheOptions {
+  /// Segment-store directory; empty = memory-only (the cache still
+  /// serves repeat traffic, but dies with the process).
+  std::string directory = {};
+  /// Entry ceiling; 0 = unbounded. Beyond it the oldest entries are
+  /// evicted insertion-FIFO. NOTE: jobs replay trimmed record-buffer
+  /// lines through the cache, so a ceiling small enough to evict entries
+  /// of a still-streaming job can truncate that job's late streams.
+  std::size_t max_entries = 0;
+  /// Rotate the append segment once it exceeds this many bytes.
+  std::size_t max_segment_bytes = 8 * 1024 * 1024;
+};
+
+/// Thread-safe (one mutex; lookups copy the payload out). Shared by every
+/// JobManager executor and record streamer of the service.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached record body for `key`, verifying the canonical text;
+  /// counts a hit or a miss.
+  std::optional<std::string> lookup(const ResultCacheKey& key) EXCLUDES(mutex_);
+
+  /// Uncounted variants for the replay path (stream_records re-rendering
+  /// trimmed buffer lines): presence / payload by hash only. Sound
+  /// because entries are immutable and were canonical-verified when the
+  /// producing job looked them up or inserted them.
+  bool contains(std::uint64_t hash) const EXCLUDES(mutex_);
+  std::optional<std::string> fetch(std::uint64_t hash) const EXCLUDES(mutex_);
+
+  /// Stores `payload` under `key` (no-op when present — first write wins,
+  /// entries are immutable) and appends it to the segment store when one
+  /// is configured. Evicts insertion-FIFO beyond max_entries.
+  void insert(const ResultCacheKey& key, std::string_view payload) EXCLUDES(mutex_);
+
+  std::size_t size() const EXCLUDES(mutex_);
+
+  /// Entries restored from disk by the constructor (restart telemetry).
+  std::size_t restored() const { return restored_; }
+
+ private:
+  struct Entry {
+    std::string canonical;
+    std::string payload;
+  };
+
+  void insert_locked(ResultCacheKey key, std::string_view payload, bool persist)
+      REQUIRES(mutex_);
+  void append_segment_locked(const ResultCacheKey& key, std::string_view payload)
+      REQUIRES(mutex_);
+  void open_next_segment_locked() REQUIRES(mutex_);
+  void load_segments();
+
+  ResultCacheOptions options_;
+  std::size_t restored_ = 0;
+
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_ GUARDED_BY(mutex_);
+  /// Insertion order (FIFO eviction under max_entries).
+  std::deque<std::uint64_t> insertion_order_ GUARDED_BY(mutex_);
+  std::ofstream segment_ GUARDED_BY(mutex_);
+  std::size_t segment_bytes_ GUARDED_BY(mutex_) = 0;
+  std::size_t next_segment_index_ GUARDED_BY(mutex_) = 1;
+};
+
+}  // namespace fpsched::service

@@ -436,6 +436,17 @@ void ExperimentService::register_routes() {
     writer.respond(200, "application/json", to_json(*stats) + "\n");
   });
 
+  http_.route("DELETE", "/runs/{id}", [this](const HttpRequest& request,
+                                             HttpResponseWriter& writer) {
+    const auto id = parse_job_id(request.path_params.at("id"));
+    const auto status = id ? jobs_.erase_job(*id) : std::nullopt;
+    if (!status) {
+      writer.respond(404, "application/json", "{\"error\":\"no such run\"}\n");
+      return;
+    }
+    writer.respond(200, "application/json", to_json(*status) + "\n");
+  });
+
   http_.route("GET", "/runs/{id}/records", [this](const HttpRequest& request,
                                                   HttpResponseWriter& writer) {
     const auto id = parse_job_id(request.path_params.at("id"));
@@ -448,13 +459,17 @@ void ExperimentService::register_routes() {
     // to the fpsched_run NDJSON file. A disconnected client makes
     // write_chunk return false and the stream winds down server-side.
     if (!writer.begin_chunked(200, "application/x-ndjson")) return;
-    const auto final_status = jobs_.stream_records(
+    const auto result = jobs_.stream_records(
         *id, [&](std::string_view line) { return writer.write_chunk(line); });
-    // A stream that did not end at a completed job (the job failed, or
-    // the server is shutting down) is truncated data: abandon it without
-    // the clean 0-chunk so the client's HTTP layer flags it, instead of
-    // handing over a well-formed stream that is silently missing records.
-    if (!final_status || final_status->state != JobState::completed) writer.abort_stream();
+    // A stream that did not deliver every record of a completed job (the
+    // job failed or was deleted mid-stream, the server is shutting down,
+    // or a trimmed line could not be replayed from a bounded cache) is
+    // truncated data: abandon it without the clean 0-chunk so the
+    // client's HTTP layer flags it, instead of handing over a well-formed
+    // stream that is silently missing records.
+    if (!result || !result->delivered_all || result->status.state != JobState::completed) {
+      writer.abort_stream();
+    }
   });
 }
 

@@ -18,6 +18,10 @@
 //                             job's records, live as scenarios complete;
 //                             the full stream is byte-identical to
 //                             `fpsched_run <name> --format ndjson`
+//   DELETE /runs/{id}         cancel a queued job, detach a running one
+//                             (its results still land in the result
+//                             cache), or drop a finished one; 200 + the
+//                             job's last status, 404 when unknown
 #pragma once
 
 #include <cstdint>

@@ -132,6 +132,28 @@ TEST_F(HttpServerTest, MalformedRequestLineIs400) {
   EXPECT_EQ(http_status(http_exchange(server_.port(), "NONSENSE\r\n\r\n")), 400);
 }
 
+TEST_F(HttpServerTest, MalformedContentLengthIs400) {
+  // std::stoul used to throw on "abc" (crashing the worker thread),
+  // silently wrap "-1" to a huge value, and accept trailing garbage.
+  // All of these must be a clean 400 now.
+  for (const std::string_view bad : {"abc", "-1", "12abc", "", "+5",
+                                     "99999999999999999999999999"}) {
+    const std::string response = http_exchange(
+        server_.port(), "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                            std::string(bad) + "\r\n\r\nbody");
+    EXPECT_EQ(http_status(response), 400) << "Content-Length: " << bad;
+  }
+}
+
+TEST_F(HttpServerTest, EncodedSlashesDoNotActAsPathSeparators) {
+  // "a%2Fb" must stay ONE segment: it matches /items/{id} with the
+  // decoded capture "a/b" — it must NOT become /items/a/b (no route).
+  EXPECT_EQ(http_body(http_get(server_.port(), "/items/a%2Fb")), "item=a/b\n");
+  // And an encoded slash cannot splice extra structure onto a literal
+  // route: "/hello%2Fx" is the unknown segment "hello/x", not /hello.
+  EXPECT_EQ(http_status(http_get(server_.port(), "/hello%2Fx")), 404);
+}
+
 TEST_F(HttpServerTest, StreamsChunkedResponses) {
   const std::string response = http_get(server_.port(), "/stream");
   EXPECT_EQ(http_status(response), 200);

@@ -1,0 +1,207 @@
+// ResultCache suite: cache-key sensitivity to every ScenarioSpec field,
+// in-memory round trips, FIFO eviction under max_entries, and the
+// on-disk segment store — restart restore, segment rotation, and
+// torn-write tolerance.
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+
+namespace fpsched::service {
+namespace {
+
+/// A fully-populated baseline spec; the key tests perturb one field at a
+/// time.
+engine::ScenarioSpec base_spec() {
+  engine::ScenarioSpec spec;
+  spec.workflow = WorkflowKind::montage;
+  spec.task_count = 50;
+  spec.model = FailureModel(1e-3, 60.0);
+  spec.cost_model = CostModel::proportional(0.1);
+  spec.policy = engine::ScenarioPolicy::fixed(
+      {LinearizeMethod::depth_first, CkptStrategy::by_weight});
+  spec.workflow_seed = 42;
+  spec.weight_cv = 0.2;
+  spec.stride = 16;
+  spec.scenario_index = 3;
+  return spec;
+}
+
+/// RAII temp directory under the system temp root.
+class TempDir {
+ public:
+  explicit TempDir(const char* name)
+      : path_(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(ResultCacheKeyTest, EveryFieldChangesTheKey) {
+  const ResultCacheKey base = ResultCacheKey::of(base_spec(), EvalMath::exact);
+  // One perturbation per ScenarioSpec field (policy sub-fields included).
+  using Mutator = void (*)(engine::ScenarioSpec&);
+  const Mutator mutators[] = {
+      [](engine::ScenarioSpec& s) { s.workflow = WorkflowKind::ligo; },
+      [](engine::ScenarioSpec& s) { s.task_count = 51; },
+      [](engine::ScenarioSpec& s) { s.model = FailureModel(2e-3, 60.0); },
+      [](engine::ScenarioSpec& s) { s.model = FailureModel(1e-3, 61.0); },
+      [](engine::ScenarioSpec& s) { s.cost_model = CostModel::constant(0.1); },
+      [](engine::ScenarioSpec& s) { s.cost_model = CostModel::proportional(0.2); },
+      [](engine::ScenarioSpec& s) {
+        s.policy = engine::ScenarioPolicy::best_lin(CkptStrategy::by_weight);
+      },
+      [](engine::ScenarioSpec& s) {
+        s.policy = engine::ScenarioPolicy::fixed(
+            {LinearizeMethod::breadth_first, CkptStrategy::by_weight});
+      },
+      [](engine::ScenarioSpec& s) {
+        s.policy = engine::ScenarioPolicy::fixed(
+            {LinearizeMethod::depth_first, CkptStrategy::by_cost});
+      },
+      [](engine::ScenarioSpec& s) {
+        s.policy = engine::ScenarioPolicy::simulated(
+            engine::ScenarioPolicy::SimDistribution::weibull, 0.7, 100, 9);
+      },
+      [](engine::ScenarioSpec& s) { s.workflow_seed = 43; },
+      [](engine::ScenarioSpec& s) { s.weight_cv = 0.3; },
+      [](engine::ScenarioSpec& s) { s.stride = 8; },
+      [](engine::ScenarioSpec& s) { s.linearize.outweight = OutweightMode::descendants; },
+      [](engine::ScenarioSpec& s) { s.linearize.seed = 7; },
+      [](engine::ScenarioSpec& s) { s.scenario_index = 4; },
+  };
+
+  std::set<std::string> canonicals = {base.canonical};
+  for (const Mutator mutate : mutators) {
+    engine::ScenarioSpec spec = base_spec();
+    mutate(spec);
+    const ResultCacheKey key = ResultCacheKey::of(spec, EvalMath::exact);
+    EXPECT_TRUE(canonicals.insert(key.canonical).second)
+        << "canonical collision: " << key.canonical;
+    EXPECT_NE(key.hash, base.hash) << key.canonical;
+  }
+  // The math backend is part of the identity: fast and exact kernels may
+  // produce different record bytes for the same spec.
+  const ResultCacheKey fast = ResultCacheKey::of(base_spec(), EvalMath::fast);
+  EXPECT_NE(fast.canonical, base.canonical);
+  EXPECT_NE(fast.hash, base.hash);
+}
+
+TEST(ResultCacheTest, InMemoryRoundTripCountsHitsAndMisses) {
+  ResultCache cache;
+  const ResultCacheKey key = ResultCacheKey::of(base_spec(), EvalMath::exact);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, "payload-bytes");
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-bytes");
+  EXPECT_EQ(cache.size(), 1u);
+  // First write wins; entries are immutable.
+  cache.insert(key, "other-bytes");
+  EXPECT_EQ(*cache.lookup(key), "payload-bytes");
+  EXPECT_EQ(cache.size(), 1u);
+  // The uncounted replay accessors see the same entry by hash.
+  EXPECT_TRUE(cache.contains(key.hash));
+  EXPECT_EQ(*cache.fetch(key.hash), "payload-bytes");
+  EXPECT_FALSE(cache.contains(key.hash + 1));
+  EXPECT_FALSE(cache.fetch(key.hash + 1).has_value());
+}
+
+TEST(ResultCacheTest, EvictsInsertionFifoBeyondMaxEntries) {
+  ResultCache cache({.max_entries = 2});
+  std::vector<ResultCacheKey> keys;
+  for (std::size_t tasks : {50, 60, 70}) {
+    auto spec = base_spec();
+    spec.task_count = tasks;
+    keys.push_back(ResultCacheKey::of(spec, EvalMath::exact));
+    cache.insert(keys.back(), "payload-" + std::to_string(tasks));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(keys[0]).has_value());  // oldest evicted
+  EXPECT_TRUE(cache.lookup(keys[1]).has_value());
+  EXPECT_TRUE(cache.lookup(keys[2]).has_value());
+}
+
+TEST(ResultCacheTest, SegmentStoreSurvivesReopen) {
+  const TempDir dir("fpsched_result_cache_reopen_test");
+  std::vector<ResultCacheKey> keys;
+  for (std::size_t tasks : {50, 60, 70}) {
+    auto spec = base_spec();
+    spec.task_count = tasks;
+    keys.push_back(ResultCacheKey::of(spec, EvalMath::exact));
+  }
+  {
+    ResultCache cache({.directory = dir.path().string()});
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      cache.insert(keys[i], "payload-" + std::to_string(i));
+    }
+    EXPECT_EQ(cache.restored(), 0u);
+  }
+  ResultCache reopened({.directory = dir.path().string()});
+  EXPECT_EQ(reopened.restored(), 3u);
+  EXPECT_EQ(reopened.size(), 3u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto hit = reopened.lookup(keys[i]);
+    ASSERT_TRUE(hit.has_value()) << keys[i].canonical;
+    EXPECT_EQ(*hit, "payload-" + std::to_string(i));
+  }
+}
+
+TEST(ResultCacheTest, RotatesSegmentsAndLoadsAllOfThem) {
+  const TempDir dir("fpsched_result_cache_rotate_test");
+  {
+    // A tiny rotation threshold: every insert lands in its own segment.
+    ResultCache cache({.directory = dir.path().string(), .max_segment_bytes = 1});
+    for (std::size_t tasks : {50, 60, 70}) {
+      auto spec = base_spec();
+      spec.task_count = tasks;
+      cache.insert(ResultCacheKey::of(spec, EvalMath::exact), "p");
+    }
+  }
+  std::size_t segments = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".ndjson") ++segments;
+  }
+  EXPECT_GE(segments, 2u);
+  ResultCache reopened({.directory = dir.path().string()});
+  EXPECT_EQ(reopened.restored(), 3u);
+}
+
+TEST(ResultCacheTest, SkipsTornAndCorruptSegmentLines) {
+  const TempDir dir("fpsched_result_cache_corrupt_test");
+  const ResultCacheKey key = ResultCacheKey::of(base_spec(), EvalMath::exact);
+  {
+    ResultCache cache({.directory = dir.path().string()});
+    cache.insert(key, "good-payload");
+  }
+  {
+    // Simulate a crash mid-append plus stray garbage: neither may poison
+    // the good entry or fail the restart load.
+    std::ofstream segment(dir.path() / "segment-000001.ndjson", std::ios::app);
+    segment << "not json at all\n";
+    segment << R"({"key":"zzzz","spec":"x","payload":"y"})" << "\n";  // bad hex
+    segment << R"({"key":"0000000000000001","spec":"mismatch","payload":"y"})"
+            << "\n";                                  // hash != fnv1a64(spec)
+    segment << R"({"key":"0000000000000002","spec":)";  // torn tail write
+  }
+  ResultCache reopened({.directory = dir.path().string()});
+  EXPECT_EQ(reopened.restored(), 1u);
+  const auto hit = reopened.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "good-payload");
+}
+
+}  // namespace
+}  // namespace fpsched::service

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -165,14 +168,15 @@ TEST(JobManagerTest, RunsAJobAndStreamsByteIdenticalRecords) {
   const std::uint64_t id = manager.submit({"tiny", tiny_options()});
 
   std::string streamed;
-  const auto status = manager.stream_records(id, [&](std::string_view line) {
+  const auto result = manager.stream_records(id, [&](std::string_view line) {
     streamed.append(line);
     return true;
   });
-  ASSERT_TRUE(status.has_value());
-  EXPECT_EQ(status->state, JobState::completed);
-  EXPECT_EQ(status->records, 4u);
-  EXPECT_EQ(status->total_scenarios, 4u);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.state, JobState::completed);
+  EXPECT_EQ(result->status.records, 4u);
+  EXPECT_EQ(result->status.total_scenarios, 4u);
+  EXPECT_TRUE(result->delivered_all);
   EXPECT_EQ(streamed, reference_ndjson(registry, tiny_options()));
 
   // A second reader of the finished job sees the same bytes.
@@ -194,22 +198,85 @@ TEST(JobManagerTest, ValidatesAtSubmission) {
   EXPECT_EQ(manager.job_count(), 0u);  // nothing enqueued
 }
 
-TEST(JobManagerTest, EnforcesMaxJobsAndReportsStatuses) {
+TEST(JobManagerTest, AdmissionCountsOnlyActiveJobsAndDeleteFreesCapacity) {
   const engine::ExperimentRegistry registry = tiny_registry();
-  JobManager manager(registry, {.max_jobs = 2});
+  // executors = 0 pins every job in the queued state, so the active
+  // count is deterministic.
+  JobManager manager(registry, {.max_jobs = 2, .executors = 0});
   const std::uint64_t first = manager.submit({"tiny", tiny_options()});
   const std::uint64_t second = manager.submit({"tiny", tiny_options()});
   EXPECT_THROW(manager.submit({"tiny", tiny_options()}), TooManyJobs);
+  EXPECT_EQ(manager.active_count(), 2u);
 
-  // Both jobs finish (drain via the blocking stream), retaining status.
-  for (const std::uint64_t id : {first, second}) {
-    const auto status = manager.stream_records(id, [](std::string_view) { return true; });
-    ASSERT_TRUE(status.has_value());
-    EXPECT_EQ(status->state, JobState::completed);
-  }
+  // DELETE of a queued job cancels it and frees its capacity slot.
+  const auto erased = manager.erase_job(first);
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_EQ(erased->state, JobState::queued);
+  EXPECT_FALSE(manager.status(first).has_value());
+  const std::uint64_t third = manager.submit({"tiny", tiny_options()});
+  EXPECT_GT(third, second);
+  EXPECT_EQ(manager.active_count(), 2u);
   EXPECT_EQ(manager.jobs().size(), 2u);
+
+  EXPECT_FALSE(manager.erase_job(99).has_value());
   EXPECT_FALSE(manager.status(99).has_value());
   EXPECT_FALSE(manager.stream_records(99, [](std::string_view) { return true; }).has_value());
+}
+
+TEST(JobManagerTest, FinishedJobsDoNotConsumeAdmissionCapacity) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  // The seed's admission counted every held job, so max_jobs=1 rejected
+  // the second submission forever once one run finished. Active-only
+  // admission + terminal eviction makes sequential traffic just work.
+  JobManager manager(registry, {.max_jobs = 1});
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+    const auto result = manager.stream_records(id, [](std::string_view) { return true; });
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status.state, JobState::completed);
+  }
+  // max_finished_jobs defaults to max_jobs, so at most one terminal job
+  // is retained alongside the latest one.
+  EXPECT_LE(manager.job_count(), 2u);
+}
+
+TEST(JobManagerTest, EvictionDropsOldestTerminalJobsNeverActiveOnes) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry, {.max_jobs = 8, .max_finished_jobs = 1});
+  std::vector<std::uint64_t> finished;
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+    const auto result = manager.stream_records(id, [](std::string_view) { return true; });
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(result->status.state, JobState::completed);
+    finished.push_back(id);
+  }
+  // The next submission triggers eviction: of the three terminal jobs
+  // only the newest stays; the fresh (active) job is untouched.
+  const std::uint64_t fresh = manager.submit({"tiny", tiny_options()});
+  EXPECT_FALSE(manager.status(finished[0]).has_value());
+  EXPECT_FALSE(manager.status(finished[1]).has_value());
+  EXPECT_TRUE(manager.status(finished[2]).has_value());
+  ASSERT_TRUE(manager.status(fresh).has_value());
+  const auto result = manager.stream_records(fresh, [](std::string_view) { return true; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.state, JobState::completed);
+}
+
+TEST(JobManagerTest, DeleteWhileStreamingEndsTheStreamCleanly) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry, {.max_jobs = 2, .executors = 0});
+  const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+  std::optional<StreamResult> result;
+  std::thread streamer([&] {
+    // Blocks: with no executor the job never produces records.
+    result = manager.stream_records(id, [](std::string_view) { return true; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(manager.erase_job(id).has_value());
+  streamer.join();  // erase_job wakes the streamer; join must not hang
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->delivered_all);
 }
 
 TEST(JobManagerTest, AbortedReaderLeavesTheJobRunning) {
@@ -218,11 +285,120 @@ TEST(JobManagerTest, AbortedReaderLeavesTheJobRunning) {
   const std::uint64_t id = manager.submit({"tiny", tiny_options()});
   // Take one record, then hang up.
   std::size_t seen = 0;
-  manager.stream_records(id, [&](std::string_view) { return ++seen < 1; });
+  const auto aborted = manager.stream_records(id, [&](std::string_view) { return ++seen < 1; });
+  ASSERT_TRUE(aborted.has_value());
+  EXPECT_FALSE(aborted->delivered_all);
   // The job still completes for a later full reader.
-  const auto status = manager.stream_records(id, [](std::string_view) { return true; });
-  ASSERT_TRUE(status.has_value());
-  EXPECT_EQ(status->state, JobState::completed);
+  const auto result = manager.stream_records(id, [](std::string_view) { return true; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.state, JobState::completed);
+  EXPECT_TRUE(result->delivered_all);
+}
+
+// --- The result cache through the JobManager ---------------------------
+
+/// Streams job `id` to completion, expecting full delivery; returns the
+/// bytes.
+std::string drain_job(JobManager& manager, std::uint64_t id) {
+  std::string bytes;
+  const auto result = manager.stream_records(id, [&](std::string_view line) {
+    bytes.append(line);
+    return true;
+  });
+  EXPECT_TRUE(result.has_value());
+  if (result.has_value()) {
+    EXPECT_EQ(result->status.state, JobState::completed) << result->status.error;
+    EXPECT_TRUE(result->delivered_all);
+  }
+  return bytes;
+}
+
+TEST(JobManagerTest, RepeatRunsServeEveryScenarioFromTheCache) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  JobManager manager(registry);
+  const std::string reference = reference_ndjson(registry, tiny_options());
+
+  const std::uint64_t cold = manager.submit({"tiny", tiny_options()});
+  EXPECT_EQ(drain_job(manager, cold), reference);
+  EXPECT_EQ(manager.cache().size(), 4u);
+
+  // The repeat run replays byte-identical records without touching the
+  // engine: its counter delta shows one cache hit per scenario and no
+  // engine/evaluator activity at all.
+  const std::uint64_t warm = manager.submit({"tiny", tiny_options()});
+  EXPECT_EQ(drain_job(manager, warm), reference);
+  const auto stats = manager.stats(warm);
+  ASSERT_TRUE(stats.has_value());
+  std::uint64_t hits = 0;
+  for (const auto& [name, delta] : stats->counter_deltas) {
+    EXPECT_EQ(name.find("fpsched_engine_"), std::string::npos) << name << " advanced";
+    EXPECT_EQ(name.find("fpsched_eval_"), std::string::npos) << name << " advanced";
+    if (name == "fpsched_result_cache_hits_total") hits = delta;
+  }
+  EXPECT_EQ(hits, 4u);
+}
+
+TEST(JobManagerTest, DiskCacheSurvivesManagerRestart) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "fpsched_jobcache_restart_test";
+  std::filesystem::remove_all(dir);
+  const std::string reference = reference_ndjson(registry, tiny_options());
+  JobManagerOptions options;
+  options.cache.directory = dir.string();
+  {
+    JobManager manager(registry, options);
+    EXPECT_EQ(drain_job(manager, manager.submit({"tiny", tiny_options()})), reference);
+  }
+  {
+    JobManager manager(registry, options);
+    EXPECT_EQ(manager.cache().restored(), 4u);
+    const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+    EXPECT_EQ(drain_job(manager, id), reference);
+    const auto stats = manager.stats(id);
+    ASSERT_TRUE(stats.has_value());
+    for (const auto& [name, delta] : stats->counter_deltas) {
+      EXPECT_EQ(name.find("fpsched_engine_"), std::string::npos) << name << " advanced";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobManagerTest, BoundedBuffersTrimWithoutStreamersAndReplayFromCache) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  // Buffer bounded to 2 of the 4 records, and nobody streaming while
+  // the job runs: the producer must trim (not block), and a late
+  // streamer re-renders the trimmed lines from the cache.
+  JobManager manager(registry, {.max_record_lines = 2});
+  const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+  for (int spins = 0; spins < 2000; ++spins) {
+    const auto status = manager.status(id);
+    ASSERT_TRUE(status.has_value());
+    if (status->state == JobState::completed) break;
+    ASSERT_NE(status->state, JobState::failed) << status->error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(manager.status(id)->state, JobState::completed);
+  EXPECT_EQ(drain_job(manager, id), reference_ndjson(registry, tiny_options()));
+}
+
+TEST(JobManagerTest, BackpressureBlocksProducersWithoutDeadlock) {
+  const engine::ExperimentRegistry registry = tiny_registry();
+  // A one-line buffer with an attached (slow) streamer: the producer
+  // blocks at the ceiling and resumes as the streamer advances; the
+  // stream still delivers the full reference bytes.
+  JobManager manager(registry, {.max_record_lines = 1});
+  const std::uint64_t id = manager.submit({"tiny", tiny_options()});
+  std::string streamed;
+  const auto result = manager.stream_records(id, [&](std::string_view line) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    streamed.append(line);
+    return true;
+  });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.state, JobState::completed);
+  EXPECT_TRUE(result->delivered_all);
+  EXPECT_EQ(streamed, reference_ndjson(registry, tiny_options()));
 }
 
 // --- The full service over HTTP ----------------------------------------
@@ -371,16 +547,35 @@ TEST_F(ExperimentServiceTest, ErrorPathsMapToHttpStatuses) {
   EXPECT_EQ(http_status(http_get(port(), "/runs/7")), 404);
   EXPECT_EQ(http_status(http_get(port(), "/runs/7/records")), 404);
   EXPECT_EQ(http_status(http_get(port(), "/runs/notanumber")), 404);
-
-  // Fill the 3-job capacity, then expect 429.
-  for (int i = 0; i < 3; ++i) {
-    ASSERT_EQ(http_status(http_exchange(
-                  port(), "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n")),
-              201);
-  }
   EXPECT_EQ(http_status(http_exchange(
-                port(), "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n")),
-            429);
+                port(), "DELETE /runs/7 HTTP/1.1\r\nHost: t\r\n\r\n")),
+            404);
+}
+
+TEST(ExperimentServiceAdmissionTest, CapacityDeleteAndEvictionOverHttp) {
+  // executors = 0 keeps jobs queued, making the 429 path deterministic
+  // (with a live executor, finished jobs stop counting toward capacity).
+  engine::ExperimentRegistry registry = tiny_registry();
+  ExperimentService service(
+      {.http = {.port = 0, .threads = 2}, .jobs = {.max_jobs = 1, .executors = 0}}, registry);
+  service.start();
+  const auto post = [&] {
+    return http_exchange(service.port(),
+                         "POST /runs?experiment=tiny&sizes=50 HTTP/1.1\r\nHost: t\r\n\r\n");
+  };
+  ASSERT_EQ(http_status(post()), 201);
+  EXPECT_EQ(http_status(post()), 429);
+
+  // DELETE returns the job's last status and frees the capacity slot.
+  const std::string erased =
+      http_exchange(service.port(), "DELETE /runs/1 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(http_status(erased), 200);
+  EXPECT_NE(http_body(erased).find("\"state\":\"queued\""), std::string::npos) << erased;
+  EXPECT_EQ(http_status(http_get(service.port(), "/runs/1")), 404);
+  EXPECT_EQ(http_status(http_exchange(service.port(),
+                                      "DELETE /runs/1 HTTP/1.1\r\nHost: t\r\n\r\n")),
+            404);
+  EXPECT_EQ(http_status(post()), 201);
 }
 
 }  // namespace
